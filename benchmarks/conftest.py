@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artefacts; they are
+wall-clock heavy compared to unit tests, so each experiment runs exactly once
+under pytest-benchmark (the quantities of interest are the produced
+table/figure and an order-of-magnitude runtime, not micro-second statistics).
+"""
+
+import pytest
+
+#: Seed shared by all benchmark experiments (reported results are reproducible).
+BENCH_SEED = 2008
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its result."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,31 @@
+"""Experiment runners that regenerate the paper's tables and figures.
+
+Each module corresponds to one evaluation artefact:
+
+* :mod:`repro.bench.table1`  -- resilience to typos (Table 1),
+* :mod:`repro.bench.table2`  -- resilience to structural variations (Table 2),
+* :mod:`repro.bench.table3`  -- resilience to DNS semantic errors (Table 3),
+* :mod:`repro.bench.figure3` -- the MySQL vs Postgres value-typo comparison (Figure 3),
+* :mod:`repro.bench.timing`  -- per-injection wall-clock cost (Section 5.2's timing remarks).
+
+The ``benchmarks/`` pytest-benchmark suite and the ``conferr`` CLI both call
+into these runners; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.bench.table1 import Table1Result, run_table1
+from repro.bench.table2 import Table2Result, run_table2
+from repro.bench.table3 import Table3Result, run_table3
+from repro.bench.figure3 import Figure3Result, run_figure3
+from repro.bench.timing import time_single_injection
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure3",
+    "time_single_injection",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Figure3Result",
+]

@@ -1,0 +1,95 @@
+"""Figure 3 -- comparing the typo resilience of MySQL and Postgres.
+
+The Section 5.5 benchmark views configuration as a transformation of an
+initial file and measures how many of the errors introduced along the way
+the system detects.  Concretely (and as in the paper):
+
+* the starting configuration contains most of the available directives with
+  their default values; directives with boolean values or no default are
+  excluded,
+* only typos in directive *values* are injected (name typos are detected by
+  both systems and would not differentiate them),
+* each directive receives ``experiments_per_directive`` independent typo
+  experiments (the paper uses 20),
+* the per-directive detection rate is binned into poor / fair / good /
+  excellent, and Figure 3 reports the share of directives in each bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import InjectionEngine
+from repro.core.profile import ResilienceProfile
+from repro.core.report import detection_distribution, render_distribution_chart
+from repro.core.views.token_view import TOKEN_DIRECTIVE_VALUE
+from repro.bench.workloads import comparison_suts
+from repro.plugins.spelling import SpellingMistakesPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["Figure3Result", "run_figure3", "run_figure3_for"]
+
+
+@dataclass
+class Figure3Result:
+    """Per-system directive detection rates, bin distributions and the chart."""
+
+    per_directive_rates: dict[str, dict[str, float]]
+    distributions: dict[str, dict[str, float]]
+    profiles: dict[str, ResilienceProfile]
+    chart_text: str
+
+    def share(self, system: str, bin_label: str) -> float:
+        """Share of a system's directives in one detection bin."""
+        return self.distributions[system].get(bin_label, 0.0)
+
+
+def run_figure3_for(
+    sut: SystemUnderTest,
+    seed: int = 2008,
+    experiments_per_directive: int = 20,
+) -> tuple[dict[str, float], ResilienceProfile]:
+    """Run the comparison procedure for one system.
+
+    Returns the per-directive detection rates and the full profile.
+    """
+    plugin = SpellingMistakesPlugin(
+        token_types=(TOKEN_DIRECTIVE_VALUE,),
+        mutations_per_token=experiments_per_directive,
+    )
+    profile = InjectionEngine(sut, plugin, seed=seed).run()
+
+    rates: dict[str, float] = {}
+    for directive, sub_profile in profile.by_metadata("directive").items():
+        if directive is None:
+            continue
+        injected = sub_profile.injected_count()
+        if injected == 0:
+            continue
+        rates[str(directive)] = sub_profile.detected_count() / injected
+    return rates, profile
+
+
+def run_figure3(
+    seed: int = 2008,
+    experiments_per_directive: int = 20,
+    systems: dict[str, SystemUnderTest] | None = None,
+) -> Figure3Result:
+    """Run the Figure 3 comparison for MySQL and Postgres."""
+    suts = systems if systems is not None else comparison_suts()
+    per_directive_rates: dict[str, dict[str, float]] = {}
+    distributions: dict[str, dict[str, float]] = {}
+    profiles: dict[str, ResilienceProfile] = {}
+    for name, sut in suts.items():
+        rates, profile = run_figure3_for(
+            sut, seed=seed, experiments_per_directive=experiments_per_directive
+        )
+        per_directive_rates[name] = rates
+        distributions[name] = detection_distribution(rates)
+        profiles[name] = profile
+    return Figure3Result(
+        per_directive_rates=per_directive_rates,
+        distributions=distributions,
+        profiles=profiles,
+        chart_text=render_distribution_chart(distributions),
+    )

@@ -1,0 +1,130 @@
+"""Table 1 -- resilience to typos.
+
+The paper injects three kinds of errors into the default configuration files
+of MySQL, Postgres and Apache (Section 5.2):
+
+* deletion of entire directives,
+* typos in directive names (for each section, up to ten randomly selected
+  directives get typos in their names),
+* typos in directive values (same selection, typos in the values).
+
+Outcomes are classified as detected at startup, detected by the functional
+tests or ignored; the runner returns per-system profiles and renders the
+Table 1 layout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.engine import InjectionEngine
+from repro.core.profile import ResilienceProfile
+from repro.core.report import typo_resilience_table
+from repro.core.views.token_view import TOKEN_DIRECTIVE_NAME, TOKEN_DIRECTIVE_VALUE, TokenView
+from repro.bench.workloads import typo_benchmark_suts
+from repro.plugins.spelling import SpellingMistakesPlugin
+from repro.plugins.structural import StructuralErrorsPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["Table1Result", "run_table1", "run_table1_for"]
+
+
+@dataclass
+class Table1Result:
+    """Per-system typo-resilience profiles plus the rendered table."""
+
+    profiles: dict[str, ResilienceProfile]
+    table_text: str
+
+    def detection_rate(self, system: str) -> float:
+        """Overall detection rate of one system."""
+        return self.profiles[system].detection_rate()
+
+
+def _selected_directive_paths(
+    sut: SystemUnderTest, per_section: int, seed: int
+) -> set[tuple[str, tuple[int, ...]]]:
+    """Pick up to ``per_section`` directives per section, as the paper does.
+
+    Selection is expressed in terms of the token view's stable source paths
+    so that the filter can be applied inside a later, independent transform.
+    """
+    engine = InjectionEngine(sut, SpellingMistakesPlugin(), seed=seed)
+    config_set = engine.parse_initial_configuration()
+    view_set = TokenView().transform(config_set)
+    rng = random.Random(seed)
+
+    per_group: dict[tuple[str, tuple[int, ...]], set[tuple[str, tuple[int, ...]]]] = {}
+    for tree in view_set:
+        for line in tree.root.children_of_kind("line"):
+            if line.get("source_kind") != "directive":
+                continue
+            path = tuple(line.get("source_path", ()))
+            group = (tree.name, path[:-1])  # the section (or file root) holding it
+            per_group.setdefault(group, set()).add((tree.name, path))
+
+    selected: set[tuple[str, tuple[int, ...]]] = set()
+    for group_members in per_group.values():
+        members = sorted(group_members)
+        if len(members) > per_section:
+            members = rng.sample(members, per_section)
+        selected.update(members)
+    return selected
+
+
+def _token_filter_for(selected: set[tuple[str, tuple[int, ...]]]):
+    def accept(token) -> bool:
+        return (token.get("source_tree"), tuple(token.get("source_path", ()))) in selected
+
+    return accept
+
+
+def run_table1_for(
+    sut: SystemUnderTest,
+    seed: int = 2008,
+    directives_per_section: int = 10,
+    typos_per_directive: int = 10,
+) -> ResilienceProfile:
+    """Run the three Table 1 error classes against one SUT and merge the profiles."""
+    selected = _selected_directive_paths(sut, directives_per_section, seed)
+    token_filter = _token_filter_for(selected)
+
+    plugins = [
+        StructuralErrorsPlugin(include=["omit-directive"]),
+        SpellingMistakesPlugin(
+            token_types=(TOKEN_DIRECTIVE_NAME,),
+            mutations_per_token=typos_per_directive,
+            token_filter=token_filter,
+        ),
+        SpellingMistakesPlugin(
+            token_types=(TOKEN_DIRECTIVE_VALUE,),
+            mutations_per_token=typos_per_directive,
+            token_filter=token_filter,
+        ),
+    ]
+    merged = ResilienceProfile(sut.name)
+    for offset, plugin in enumerate(plugins):
+        profile = InjectionEngine(sut, plugin, seed=seed + offset).run()
+        merged.extend(profile.records)
+    return merged
+
+
+def run_table1(
+    seed: int = 2008,
+    directives_per_section: int = 10,
+    typos_per_directive: int = 10,
+    systems: dict[str, SystemUnderTest] | None = None,
+) -> Table1Result:
+    """Run the Table 1 experiment for MySQL, Postgres and Apache."""
+    suts = systems if systems is not None else typo_benchmark_suts()
+    profiles = {
+        name: run_table1_for(
+            sut,
+            seed=seed,
+            directives_per_section=directives_per_section,
+            typos_per_directive=typos_per_directive,
+        )
+        for name, sut in suts.items()
+    }
+    return Table1Result(profiles=profiles, table_text=typo_resilience_table(profiles))

@@ -1,0 +1,94 @@
+"""Table 2 -- resilience to structural errors (configuration variations).
+
+For each system and each variation class of Section 5.3 the runner creates
+``variants_per_class`` semantically-equivalent configuration files and checks
+whether the system accepts all of them.  A class is "Yes" when every variant
+starts and passes the functional tests, "No" when at least one is rejected,
+and "n/a" when the class does not apply to the system's format (for example
+section reordering for the flat ``postgresql.conf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import InjectionEngine
+from repro.core.profile import InjectionOutcome, ResilienceProfile
+from repro.core.report import structural_support_table
+from repro.bench.workloads import structural_benchmark_suts
+from repro.plugins.structural import StructuralVariationsPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["Table2Result", "run_table2", "VARIATION_LABELS", "APPLICABLE_CLASSES"]
+
+#: Human-readable row labels, in the paper's order.
+VARIATION_LABELS = {
+    "section-order": "Order of sections",
+    "directive-order": "Order of directives",
+    "separator-whitespace": "Spaces near separators",
+    "mixed-case-names": "Mixed-case directive names",
+    "truncated-names": "Truncatable directive names",
+}
+
+#: Which variation classes apply to which system.  Reordering top-level
+#: sections is meaningful for MySQL's flat group structure but not for the
+#: sectionless postgresql.conf nor for Apache's nested, context-carrying
+#: containers -- the paper marks both "n/a".
+APPLICABLE_CLASSES = {
+    "MySQL": tuple(VARIATION_LABELS),
+    "Postgres": tuple(c for c in VARIATION_LABELS if c != "section-order"),
+    "Apache": tuple(c for c in VARIATION_LABELS if c != "section-order"),
+}
+
+
+@dataclass
+class Table2Result:
+    """Support matrix (system -> variation label -> Yes/No/n/a) plus profiles."""
+
+    support: dict[str, dict[str, str]]
+    profiles: dict[str, dict[str, ResilienceProfile]]
+    table_text: str
+
+    def satisfied_fraction(self, system: str) -> float:
+        """Fraction of applicable variation classes the system accepts."""
+        values = [v for v in self.support[system].values() if v != "n/a"]
+        return sum(1 for v in values if v == "Yes") / len(values) if values else 0.0
+
+
+def _classify(profile: ResilienceProfile) -> str:
+    """A variation class is supported when every variant is accepted."""
+    if len(profile) == 0:
+        return "n/a"
+    accepted = profile.records_with(InjectionOutcome.IGNORED)
+    return "Yes" if len(accepted) == len(profile) else "No"
+
+
+def run_table2(
+    seed: int = 2008,
+    variants_per_class: int = 10,
+    systems: dict[str, SystemUnderTest] | None = None,
+    min_truncation: int = 8,
+) -> Table2Result:
+    """Run the Table 2 experiment for MySQL, Postgres and Apache."""
+    suts = systems if systems is not None else structural_benchmark_suts()
+    support: dict[str, dict[str, str]] = {}
+    profiles: dict[str, dict[str, ResilienceProfile]] = {}
+    for name, sut in suts.items():
+        applicable = APPLICABLE_CLASSES.get(name, tuple(VARIATION_LABELS))
+        support[name] = {}
+        profiles[name] = {}
+        for variation_class, label in VARIATION_LABELS.items():
+            if variation_class not in applicable:
+                support[name][label] = "n/a"
+                continue
+            plugin = StructuralVariationsPlugin(
+                classes=[variation_class],
+                variants_per_class=variants_per_class,
+                min_truncation=min_truncation,
+            )
+            profile = InjectionEngine(sut, plugin, seed=seed).run()
+            profiles[name][label] = profile
+            support[name][label] = _classify(profile)
+    return Table2Result(
+        support=support, profiles=profiles, table_text=structural_support_table(support)
+    )

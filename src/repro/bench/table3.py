@@ -1,0 +1,84 @@
+"""Table 3 -- resilience to semantic (RFC-1912 style) DNS errors.
+
+For BIND and djbdns the runner injects record-level faults through the
+system-independent record view and classifies each fault class:
+
+* ``found``     -- at least one scenario of the class was detected (the
+  server refused to load the zone, or the functional tests failed),
+* ``not found`` -- every scenario was served without complaint,
+* ``N/A``       -- every scenario was impossible to express in the system's
+  configuration format (djbdns' combined ``=`` records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import InjectionEngine
+from repro.core.profile import InjectionOutcome, ResilienceProfile
+from repro.core.report import semantic_behaviour_table
+from repro.bench.workloads import dns_benchmark_suts
+from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["Table3Result", "run_table3", "FAULT_LABELS"]
+
+#: Fault classes shown in the paper's Table 3, with the row descriptions.
+FAULT_LABELS = {
+    "missing-ptr": "Missing PTR",
+    "ptr-to-cname": "PTR pointing to CNAME",
+    "ns-cname-clash": "dupl name for NS and CNAME",
+    "mx-to-cname": "MX pointing to CNAME",
+}
+
+
+@dataclass
+class Table3Result:
+    """Behaviour matrix (fault -> system -> found / not found / N/A) plus profiles."""
+
+    behaviour: dict[str, dict[str, str]]
+    profiles: dict[str, ResilienceProfile]
+    table_text: str
+
+    def behaviour_of(self, fault_class_label: str, system: str) -> str:
+        """Behaviour of one system for one fault row."""
+        return self.behaviour[fault_class_label][system]
+
+
+def _classify(profile: ResilienceProfile) -> str:
+    if len(profile) == 0:
+        return "N/A"
+    counts = profile.outcome_counts()
+    if counts[InjectionOutcome.DETECTED_AT_STARTUP] or counts[InjectionOutcome.DETECTED_BY_TESTS]:
+        return "found"
+    if profile.injected_count() == 0:
+        return "N/A"
+    return "not found"
+
+
+def run_table3(
+    seed: int = 2008,
+    max_scenarios_per_class: int = 3,
+    systems: dict[str, SystemUnderTest] | None = None,
+    fault_classes: dict[str, str] | None = None,
+) -> Table3Result:
+    """Run the Table 3 experiment for BIND and djbdns."""
+    suts = systems if systems is not None else dns_benchmark_suts()
+    labels = fault_classes if fault_classes is not None else FAULT_LABELS
+    behaviour: dict[str, dict[str, str]] = {label: {} for label in labels.values()}
+    profiles: dict[str, ResilienceProfile] = {}
+    for name, sut in suts.items():
+        plugin = DnsSemanticErrorsPlugin(
+            classes=list(labels), max_scenarios_per_class=max_scenarios_per_class
+        )
+        profile = InjectionEngine(sut, plugin, seed=seed).run()
+        profiles[name] = profile
+        by_category = profile.by_category()
+        for fault_class, label in labels.items():
+            class_profile = by_category.get(f"semantic-{fault_class}", ResilienceProfile(name))
+            behaviour[label][name] = _classify(class_profile)
+    return Table3Result(
+        behaviour=behaviour,
+        profiles=profiles,
+        table_text=semantic_behaviour_table(behaviour),
+    )

@@ -1,0 +1,46 @@
+"""Per-injection timing (Section 5.2's cost remarks).
+
+The paper reports that each injection experiment took on the order of
+seconds on the authors' workstation (2.2 s for MySQL, 6 s for Postgres,
+1.1 s for Apache), dominated by starting and stopping the real servers.
+With the simulated servers an experiment is orders of magnitude faster;
+``benchmarks/test_injection_speed.py`` measures it with pytest-benchmark and
+EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import InjectionEngine
+from repro.plugins.spelling import SpellingMistakesPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["time_single_injection", "single_injection_callable"]
+
+
+def single_injection_callable(sut: SystemUnderTest, seed: int = 2008):
+    """Return a zero-argument callable that performs one injection experiment.
+
+    The scenario generation is done once up-front so the callable measures
+    exactly the inject + start + test + stop cycle (what the paper times).
+    """
+    engine = InjectionEngine(sut, SpellingMistakesPlugin(mutations_per_token=1), seed=seed)
+    config_set, view_set, scenarios = engine.generate_scenarios()
+    if not scenarios:
+        raise RuntimeError(f"no scenarios generated for {sut.name}")
+    scenario = scenarios[0]
+
+    def run_once():
+        return engine.run_scenario(scenario, config_set, view_set)
+
+    return run_once
+
+
+def time_single_injection(sut: SystemUnderTest, repetitions: int = 10, seed: int = 2008) -> float:
+    """Average wall-clock seconds per injection experiment."""
+    run_once = single_injection_callable(sut, seed=seed)
+    started = time.perf_counter()
+    for _ in range(repetitions):
+        run_once()
+    return (time.perf_counter() - started) / repetitions

@@ -1,0 +1,92 @@
+"""Workload builders shared by the experiment runners.
+
+Provides the systems-under-test with the configurations each experiment
+needs, and the "most of the available directives, with default values"
+configurations used by the Section 5.5 comparison benchmark (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.sut.apache import SimulatedApache
+from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
+from repro.sut.mysql import SimulatedMySQL
+from repro.sut.mysql.options import DEFAULT_MY_CNF_SERVER_ONLY, MYSQLD_OPTIONS
+from repro.sut.postgres import SimulatedPostgres
+from repro.sut.postgres.options import POSTGRES_OPTIONS
+
+__all__ = [
+    "typo_benchmark_suts",
+    "structural_benchmark_suts",
+    "dns_benchmark_suts",
+    "full_directive_mysql_config",
+    "full_directive_postgres_config",
+    "comparison_suts",
+]
+
+
+def typo_benchmark_suts() -> dict[str, object]:
+    """The three SUTs of the Table 1 experiment.
+
+    MySQL uses the server-group-only option file so that every injected typo
+    targets a directive the server actually parses at startup (see
+    ``DEFAULT_MY_CNF_SERVER_ONLY``); the paper counts 14 directives for
+    MySQL, 8 for Postgres and 98 for Apache.
+    """
+    return {
+        "MySQL": SimulatedMySQL(default_config=DEFAULT_MY_CNF_SERVER_ONLY),
+        "Postgres": SimulatedPostgres(),
+        "Apache": SimulatedApache(),
+    }
+
+
+def structural_benchmark_suts() -> dict[str, object]:
+    """The three SUTs of the Table 2 experiment (full default configurations)."""
+    return {
+        "MySQL": SimulatedMySQL(),
+        "Postgres": SimulatedPostgres(),
+        "Apache": SimulatedApache(),
+    }
+
+
+def dns_benchmark_suts() -> dict[str, object]:
+    """The two SUTs of the Table 3 experiment."""
+    return {"BIND": SimulatedBIND(), "djbdns": SimulatedDjbdns()}
+
+
+def full_directive_mysql_config() -> str:
+    """A ``my.cnf`` containing most available directives with default values.
+
+    Following Section 5.5, boolean/flag options and options without a default
+    are skipped (typos in boolean values are known to be detected by both
+    systems and would not differentiate them).
+    """
+    lines = ["[mysqld]"]
+    for spec in MYSQLD_OPTIONS:
+        if spec.flag or spec.kind == "bool" or spec.default in (None, ""):
+            continue
+        lines.append(f"{spec.name} = {spec.default}")
+    return "\n".join(lines) + "\n"
+
+
+def full_directive_postgres_config() -> str:
+    """A ``postgresql.conf`` containing most available directives with defaults."""
+    lines = ["# full-directive configuration for the comparison benchmark"]
+    for spec in POSTGRES_OPTIONS:
+        if spec.kind == "bool" or spec.default in (None, ""):
+            continue
+        if spec.kind in ("string", "path", "enum") and not spec.default.replace(".", "").isalnum():
+            value = f"'{spec.default}'"
+        elif spec.kind in ("string", "path"):
+            value = f"'{spec.default}'"
+        else:
+            value = spec.default
+        lines.append(f"{spec.name} = {value}")
+    return "\n".join(lines) + "\n"
+
+
+def comparison_suts() -> dict[str, object]:
+    """MySQL and Postgres configured with the full-directive files (Figure 3)."""
+    return {
+        "MySQL": SimulatedMySQL(default_config=full_directive_mysql_config()),
+        "Postgresql": SimulatedPostgres(default_config=full_directive_postgres_config()),
+    }

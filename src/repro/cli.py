@@ -1,0 +1,186 @@
+"""Command-line interface: ``conferr``.
+
+Sub-commands
+------------
+``conferr run --system mysql --plugin spelling``
+    Run one injection campaign against a simulated SUT and print the profile.
+``conferr table1`` / ``table2`` / ``table3`` / ``figure3``
+    Regenerate the paper's evaluation artefacts.
+``conferr list``
+    Show the available systems, plugins and configuration dialects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Sequence
+
+from repro.core.campaign import Campaign
+from repro.parsers.base import available_dialects
+from repro.plugins import (
+    DnsSemanticErrorsPlugin,
+    SpellingMistakesPlugin,
+    StructuralErrorsPlugin,
+    StructuralVariationsPlugin,
+)
+from repro.plugins.base import available_plugins
+from repro.sut.apache import SimulatedApache
+from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
+from repro.sut.mysql import SimulatedMySQL
+from repro.sut.postgres import SimulatedPostgres
+
+__all__ = ["main", "build_parser"]
+
+_SYSTEMS: dict[str, Callable[[], object]] = {
+    "mysql": SimulatedMySQL,
+    "postgres": SimulatedPostgres,
+    "apache": SimulatedApache,
+    "bind": SimulatedBIND,
+    "djbdns": SimulatedDjbdns,
+}
+
+_PLUGIN_FACTORIES: dict[str, Callable[[argparse.Namespace], object]] = {
+    "spelling": lambda args: SpellingMistakesPlugin(mutations_per_token=args.mutations_per_token),
+    "structural": lambda args: StructuralErrorsPlugin(
+        max_scenarios_per_class=args.max_scenarios_per_class
+    ),
+    "structural-variations": lambda args: StructuralVariationsPlugin(),
+    "semantic-dns": lambda args: DnsSemanticErrorsPlugin(
+        max_scenarios_per_class=args.max_scenarios_per_class
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="conferr",
+        description="Assess resilience to human configuration errors (ConfErr reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one injection campaign")
+    run.add_argument("--system", choices=sorted(_SYSTEMS), required=True)
+    run.add_argument("--plugin", choices=sorted(_PLUGIN_FACTORIES), default="spelling")
+    run.add_argument("--seed", type=int, default=2008)
+    run.add_argument("--mutations-per-token", type=int, default=1)
+    run.add_argument("--max-scenarios-per-class", type=int, default=None)
+    run.add_argument("--json", action="store_true", help="emit the full profile as JSON")
+    run.add_argument("--output", metavar="FILE", default=None, help="also save the profile as JSON to FILE")
+
+    report = sub.add_parser("report", help="re-render a previously saved resilience profile")
+    report.add_argument("profile_file", help="JSON file written by 'conferr run --output'")
+
+    for name, help_text in (
+        ("table1", "regenerate Table 1 (resilience to typos)"),
+        ("table2", "regenerate Table 2 (structural variations)"),
+        ("table3", "regenerate Table 3 (DNS semantic errors)"),
+        ("figure3", "regenerate Figure 3 (MySQL vs Postgres comparison)"),
+    ):
+        bench = sub.add_parser(name, help=help_text)
+        bench.add_argument("--seed", type=int, default=2008)
+        if name == "figure3":
+            bench.add_argument("--experiments-per-directive", type=int, default=20)
+        if name == "table1":
+            bench.add_argument("--typos-per-directive", type=int, default=10)
+        if name == "table2":
+            bench.add_argument("--variants-per-class", type=int, default=10)
+
+    sub.add_parser("list", help="list available systems, plugins and dialects")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    sut = _SYSTEMS[args.system]()
+    plugin = _PLUGIN_FACTORIES[args.plugin](args)
+    campaign = Campaign(sut, [plugin], seed=args.seed)
+    result = campaign.run()
+    profile = result.overall
+    if args.output:
+        profile.save(args.output)
+    if args.json:
+        print(profile.to_json())
+    else:
+        print(profile.summary())
+        print()
+        for category, sub_profile in profile.by_category().items():
+            counts = {o.value: c for o, c in sub_profile.outcome_counts().items() if c}
+            print(f"  {category}: {counts}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.core.profile import ResilienceProfile
+
+    profile = ResilienceProfile.load(args.profile_file)
+    print(profile.summary())
+    print()
+    for category, sub_profile in profile.by_category().items():
+        counts = {o.value: c for o, c in sub_profile.outcome_counts().items() if c}
+        print(f"  {category}: {counts}")
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("systems:  " + ", ".join(sorted(_SYSTEMS)))
+    print("plugins:  " + ", ".join(available_plugins()))
+    print("dialects: " + ", ".join(available_dialects()))
+    return 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    from repro.bench import run_table1
+
+    result = run_table1(seed=args.seed, typos_per_directive=args.typos_per_directive)
+    print(result.table_text)
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    from repro.bench import run_table2
+
+    result = run_table2(seed=args.seed, variants_per_class=args.variants_per_class)
+    print(result.table_text)
+    return 0
+
+
+def _command_table3(args: argparse.Namespace) -> int:
+    from repro.bench import run_table3
+
+    result = run_table3(seed=args.seed)
+    print(result.table_text)
+    return 0
+
+
+def _command_figure3(args: argparse.Namespace) -> int:
+    from repro.bench import run_figure3
+
+    result = run_figure3(
+        seed=args.seed, experiments_per_directive=args.experiments_per_directive
+    )
+    print(result.chart_text)
+    print()
+    print(json.dumps(result.distributions, indent=2))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``conferr`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "list": _command_list,
+        "report": _command_report,
+        "table1": _command_table1,
+        "table2": _command_table2,
+        "table3": _command_table3,
+        "figure3": _command_figure3,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

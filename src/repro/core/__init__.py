@@ -1,0 +1,36 @@
+"""Core ConfErr machinery: configuration trees, templates, views, engine.
+
+The sub-packages mirror the stages of the ConfErr pipeline described in the
+paper:
+
+``infoset``
+    The abstract tree representation of configuration files (the paper uses
+    XML information sets; we provide an equivalent native model).
+``path``
+    An XPath-like query language used by templates to select target nodes.
+``templates``
+    Parameterised transformations of configuration trees (delete, duplicate,
+    move, modify, ...) and combinators over sets of fault scenarios.
+``views``
+    Bidirectional mappings between the system-specific tree and the
+    representations required by each error-generator plugin.
+``engine`` / ``campaign`` / ``profile`` / ``report``
+    Orchestration of injection experiments and aggregation of outcomes into
+    resilience profiles.
+"""
+
+from repro.core.infoset import ConfigNode, ConfigTree
+from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
+from repro.core.engine import InjectionEngine
+from repro.core.campaign import Campaign, CampaignResult
+
+__all__ = [
+    "ConfigNode",
+    "ConfigTree",
+    "InjectionOutcome",
+    "InjectionRecord",
+    "ResilienceProfile",
+    "InjectionEngine",
+    "Campaign",
+    "CampaignResult",
+]

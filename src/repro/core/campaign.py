@@ -1,0 +1,73 @@
+"""Campaigns: declarative descriptions of injection experiments.
+
+A campaign bundles a system under test with one or more error-generator
+plugins and a seed; running it produces one resilience profile per plugin
+plus a merged overall profile.  Campaigns make the benchmark reproducible:
+the same campaign with the same seed always injects the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.engine import InjectionEngine
+from repro.core.profile import InjectionRecord, ResilienceProfile
+from repro.errors import CampaignError
+from repro.plugins.base import ErrorGeneratorPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["Campaign", "CampaignResult"]
+
+
+@dataclass
+class CampaignResult:
+    """Profiles produced by one campaign run."""
+
+    system_name: str
+    per_plugin: dict[str, ResilienceProfile]
+
+    @property
+    def overall(self) -> ResilienceProfile:
+        """All records of all plugins merged into one profile."""
+        merged = ResilienceProfile(self.system_name)
+        for profile in self.per_plugin.values():
+            merged.extend(profile.records)
+        return merged
+
+    def profile(self, plugin_name: str) -> ResilienceProfile:
+        """Profile of one plugin (KeyError if the plugin was not part of the campaign)."""
+        return self.per_plugin[plugin_name]
+
+
+@dataclass
+class Campaign:
+    """One benchmark: a SUT, the plugins to run against it, and a seed."""
+
+    sut: SystemUnderTest
+    plugins: Sequence[ErrorGeneratorPlugin]
+    seed: int = 0
+    check_baseline: bool = True
+    observer: Callable[[InjectionRecord], None] | None = field(default=None, repr=False)
+
+    def run(self) -> CampaignResult:
+        """Run every plugin and collect the profiles.
+
+        Raises :class:`~repro.errors.CampaignError` when no plugins are given
+        or when the baseline (unmodified) configuration is itself unhealthy.
+        """
+        if not self.plugins:
+            raise CampaignError("a campaign needs at least one plugin")
+        per_plugin: dict[str, ResilienceProfile] = {}
+        for index, plugin in enumerate(self.plugins):
+            engine = InjectionEngine(
+                self.sut, plugin, seed=self.seed + index, observer=self.observer
+            )
+            if self.check_baseline and index == 0:
+                problems = engine.baseline_check()
+                if problems:
+                    raise CampaignError(
+                        "the unmodified configuration is not healthy: " + "; ".join(problems)
+                    )
+            per_plugin[plugin.name] = engine.run()
+        return CampaignResult(self.sut.name, per_plugin)

@@ -1,0 +1,170 @@
+"""The injection engine: ConfErr's end-to-end pipeline.
+
+For one (system under test, error-generator plugin) pair the engine
+
+1. parses the SUT's initial configuration files into system-specific trees,
+2. maps them to the plugin's view,
+3. asks the plugin for fault scenarios,
+4. for each scenario: applies it to a pristine copy of the view, maps the
+   mutated view back, serialises the faulty configuration files, starts the
+   SUT with them, runs the functional tests, stops the SUT and records the
+   outcome,
+5. returns the resulting :class:`~repro.core.profile.ResilienceProfile`.
+
+None of these steps require human intervention (paper Section 3).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Sequence
+
+from repro.core.infoset import ConfigSet
+from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
+from repro.core.templates.base import FaultScenario
+from repro.errors import ConfErrError, SerializationError, SUTError, TransformError
+from repro.parsers.base import get_dialect, serialize_tree
+from repro.plugins.base import ErrorGeneratorPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = ["InjectionEngine"]
+
+
+class InjectionEngine:
+    """Runs injection experiments for one SUT and one plugin."""
+
+    def __init__(
+        self,
+        sut: SystemUnderTest,
+        plugin: ErrorGeneratorPlugin,
+        seed: int = 0,
+        observer: Callable[[InjectionRecord], None] | None = None,
+    ):
+        self.sut = sut
+        self.plugin = plugin
+        self.seed = seed
+        #: Optional callback invoked after every injection (progress reporting).
+        self.observer = observer
+
+    # ---------------------------------------------------------------- parsing
+    def parse_initial_configuration(self) -> ConfigSet:
+        """Parse the SUT's default configuration files into a ConfigSet."""
+        config_set = ConfigSet()
+        for filename, text in self.sut.default_configuration().items():
+            dialect = get_dialect(self.sut.dialect_for(filename))
+            config_set.add(dialect.parse(text, filename=filename))
+        return config_set
+
+    # -------------------------------------------------------------- scenarios
+    def generate_scenarios(
+        self, config_set: ConfigSet | None = None
+    ) -> tuple[ConfigSet, ConfigSet, list[FaultScenario]]:
+        """Return (system config set, plugin view set, scenarios)."""
+        rng = random.Random(self.seed)
+        config_set = config_set or self.parse_initial_configuration()
+        view_set = self.plugin.view.transform(config_set)
+        scenarios = self.plugin.generate(view_set, rng)
+        return config_set, view_set, scenarios
+
+    # -------------------------------------------------------------- injection
+    def run(self, scenarios: Sequence[FaultScenario] | None = None) -> ResilienceProfile:
+        """Run the full campaign and return the resilience profile."""
+        config_set, view_set, generated = self.generate_scenarios()
+        profile = ResilienceProfile(self.sut.name)
+        for scenario in scenarios if scenarios is not None else generated:
+            record = self.run_scenario(scenario, config_set, view_set)
+            profile.add(record)
+            if self.observer is not None:
+                self.observer(record)
+        return profile
+
+    def materialize(self, scenario: FaultScenario, config_set: ConfigSet, view_set: ConfigSet) -> dict[str, str]:
+        """Produce the faulty configuration files for ``scenario``.
+
+        Raises :class:`~repro.errors.SerializationError` (or
+        :class:`~repro.errors.TransformError`) when the mutation cannot be
+        expressed in the native format.
+        """
+        mutated_view = scenario.apply(view_set)
+        system_set = self.plugin.view.untransform(mutated_view, config_set)
+        return {tree.name: serialize_tree(tree) for tree in system_set}
+
+    def run_scenario(
+        self,
+        scenario: FaultScenario,
+        config_set: ConfigSet,
+        view_set: ConfigSet,
+    ) -> InjectionRecord:
+        """Run a single injection experiment and classify its outcome."""
+        started_at = time.perf_counter()
+
+        def record(outcome: InjectionOutcome, messages=(), failed_tests=()) -> InjectionRecord:
+            return InjectionRecord(
+                scenario_id=scenario.scenario_id,
+                category=scenario.category,
+                description=scenario.description,
+                outcome=outcome,
+                messages=list(messages),
+                failed_tests=list(failed_tests),
+                metadata=dict(scenario.metadata),
+                duration_seconds=time.perf_counter() - started_at,
+            )
+
+        try:
+            files = self.materialize(scenario, config_set, view_set)
+        except (SerializationError, TransformError) as exc:
+            return record(InjectionOutcome.INJECTION_IMPOSSIBLE, messages=[str(exc)])
+        except ConfErrError as exc:
+            return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+
+        try:
+            start_result = self.sut.start(files)
+        except SUTError as exc:
+            return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+
+        if not start_result.started:
+            self._safe_stop()
+            return record(InjectionOutcome.DETECTED_AT_STARTUP, messages=start_result.errors)
+
+        try:
+            failed = []
+            messages = list(start_result.warnings)
+            for test in self.sut.functional_tests():
+                result = test.run(self.sut)
+                if not result.passed:
+                    failed.append(result.name)
+                    if result.detail:
+                        messages.append(f"{result.name}: {result.detail}")
+            if failed:
+                return record(InjectionOutcome.DETECTED_BY_TESTS, messages=messages, failed_tests=failed)
+            return record(InjectionOutcome.IGNORED, messages=messages)
+        finally:
+            self._safe_stop()
+
+    def baseline_check(self) -> list[str]:
+        """Sanity-check that the *unmodified* configuration starts and passes tests.
+
+        Returns a list of problems (empty when the baseline is healthy).  The
+        paper's methodology presumes a working initial configuration; running
+        this before a campaign catches harness misconfiguration early.
+        """
+        problems: list[str] = []
+        files = self.sut.default_configuration()
+        result = self.sut.start(files)
+        if not result.started:
+            problems.append(f"default configuration refused to start: {result.errors}")
+            self._safe_stop()
+            return problems
+        for test in self.sut.functional_tests():
+            outcome = test.run(self.sut)
+            if not outcome.passed:
+                problems.append(f"functional test {outcome.name} fails on the default configuration: {outcome.detail}")
+        self._safe_stop()
+        return problems
+
+    def _safe_stop(self) -> None:
+        try:
+            self.sut.stop()
+        except Exception:  # pragma: no cover - defensive: stop() should not fail
+            pass

@@ -1,0 +1,153 @@
+"""Report rendering: turn resilience profiles into the paper's tables.
+
+The helpers here format plain-text tables comparable to the paper's
+evaluation artefacts:
+
+* :func:`typo_resilience_table`       -- Table 1 (detected at startup / by
+  tests / ignored, per system),
+* :func:`structural_support_table`    -- Table 2 (which variation classes a
+  system accepts),
+* :func:`semantic_behaviour_table`    -- Table 3 (per-fault behaviour of the
+  DNS servers),
+* :func:`detection_distribution`      -- Figure 3 (share of directives in the
+  poor/fair/good/excellent detection bins),
+* :func:`render_distribution_chart`   -- an ASCII rendering of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.profile import (
+    DETECTION_BINS,
+    InjectionOutcome,
+    ResilienceProfile,
+    detection_bin,
+)
+
+__all__ = [
+    "format_table",
+    "typo_resilience_table",
+    "structural_support_table",
+    "semantic_behaviour_table",
+    "detection_distribution",
+    "render_distribution_chart",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned plain-text table."""
+    table = [list(map(str, headers))] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[column]) for row in table) for column in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------- Table 1
+def typo_resilience_table(profiles: Mapping[str, ResilienceProfile]) -> str:
+    """Table 1: resilience to typos, one column per system."""
+    systems = list(profiles)
+    headers = ["", *systems]
+    rows: list[list[object]] = []
+
+    def row(label: str, values: list[str]) -> None:
+        rows.append([label, *values])
+
+    injected = {name: profiles[name].injected_count() for name in systems}
+    row("# of Injected Errors", [f"{injected[name]} (100%)" if injected[name] else "0" for name in systems])
+
+    def pct(name: str, count: int) -> str:
+        total = injected[name]
+        return f"{count} ({count / total:.0%})" if total else str(count)
+
+    startup = {
+        name: profiles[name].outcome_counts()[InjectionOutcome.DETECTED_AT_STARTUP] for name in systems
+    }
+    by_tests = {
+        name: profiles[name].outcome_counts()[InjectionOutcome.DETECTED_BY_TESTS] for name in systems
+    }
+    ignored = {name: profiles[name].ignored_count() for name in systems}
+    row("Detected by system at startup", [pct(name, startup[name]) for name in systems])
+    row("Detected by functional tests", [pct(name, by_tests[name]) for name in systems])
+    row("Ignored", [pct(name, ignored[name]) for name in systems])
+    return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------- Table 2
+def structural_support_table(support: Mapping[str, Mapping[str, str]]) -> str:
+    """Table 2: which structural variation classes each system supports.
+
+    ``support`` maps system name to a mapping of variation label to
+    "Yes"/"No"/"n/a".  A summary row with the percentage of satisfied
+    assumptions (n/a excluded) is appended, as in the paper.
+    """
+    systems = list(support)
+    variations: list[str] = []
+    for per_system in support.values():
+        for label in per_system:
+            if label not in variations:
+                variations.append(label)
+    rows = [[label, *[support[name].get(label, "n/a") for name in systems]] for label in variations]
+
+    def satisfied(name: str) -> str:
+        values = [value for value in support[name].values() if value.lower() != "n/a"]
+        if not values:
+            return "n/a"
+        yes = sum(1 for value in values if value.lower() == "yes")
+        return f"{yes / len(values):.0%}"
+
+    rows.append(["% of assumptions satisfied", *[satisfied(name) for name in systems]])
+    return format_table(["", *systems], rows)
+
+
+# ----------------------------------------------------------------------- Table 3
+def semantic_behaviour_table(behaviour: Mapping[str, Mapping[str, str]]) -> str:
+    """Table 3: per-fault behaviour ("found" / "not found" / "N/A") of DNS servers.
+
+    ``behaviour`` maps fault description to a mapping of system name to the
+    observed behaviour.
+    """
+    systems: list[str] = []
+    for per_fault in behaviour.values():
+        for name in per_fault:
+            if name not in systems:
+                systems.append(name)
+    rows = [
+        [index + 1, fault, *[per_fault.get(name, "N/A") for name in systems]]
+        for index, (fault, per_fault) in enumerate(behaviour.items())
+    ]
+    return format_table(["Err#", "Description of fault", *systems], rows)
+
+
+# ---------------------------------------------------------------------- Figure 3
+def detection_distribution(per_directive_rates: Mapping[str, float]) -> dict[str, float]:
+    """Share of directives falling into each detection bin (Figure 3).
+
+    ``per_directive_rates`` maps a directive name to the fraction of injected
+    typos the system detected for that directive.
+    """
+    counts = {label: 0 for label, _low, _high in DETECTION_BINS}
+    for rate in per_directive_rates.values():
+        counts[detection_bin(rate)] += 1
+    total = len(per_directive_rates)
+    return {label: (counts[label] / total if total else 0.0) for label in counts}
+
+
+def render_distribution_chart(
+    distributions: Mapping[str, Mapping[str, float]], width: int = 40
+) -> str:
+    """ASCII rendering of Figure 3: one stacked bar per system."""
+    lines = []
+    for system, distribution in distributions.items():
+        lines.append(f"{system}")
+        for label, _low, _high in DETECTION_BINS:
+            share = distribution.get(label, 0.0)
+            bar = "#" * round(share * width)
+            lines.append(f"  {label:<9} {share:6.1%} |{bar}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

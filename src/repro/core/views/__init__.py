@@ -1,0 +1,24 @@
+"""Plugin-specific views of configuration sets.
+
+The paper's second parsing stage (Section 3.2) maps the system-specific tree
+into the representation an error-generator plugin needs, and back:
+
+* the **token view** represents files as lines of typed tokens -- the shape
+  used by the spelling-mistakes plugin (Figure 2.c);
+* the **structure view** represents files as sections containing directives
+  -- the shape used by the structural-errors plugin (Figure 2.b);
+* the **DNS record view** is a domain-specific, system-independent list of
+  published DNS records -- the shape used by the semantic-errors plugin
+  (Section 5.4).
+
+Each view is bidirectional; the reverse mapping is where impossible
+mutations are detected (a mutated view that cannot be expressed in the
+native format raises :class:`~repro.errors.SerializationError`).
+"""
+
+from repro.core.views.base import IdentityView, View
+from repro.core.views.token_view import TokenView
+from repro.core.views.structure_view import StructureView
+from repro.core.views.dns_view import DnsRecordView
+
+__all__ = ["View", "IdentityView", "TokenView", "StructureView", "DnsRecordView"]

@@ -1,0 +1,53 @@
+"""View interface: bidirectional mappings between tree representations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.infoset import ConfigSet
+
+__all__ = ["View", "IdentityView"]
+
+
+class View(ABC):
+    """A bidirectional mapping between system-specific and plugin-specific trees.
+
+    ``transform`` produces the plugin-specific representation the error
+    templates operate on; ``untransform`` maps a (possibly mutated) view back
+    onto the system-specific representation so it can be serialised.  The
+    original configuration set is passed to ``untransform`` because the view
+    usually needs the complementary information it carries (formatting,
+    comments, source addresses) to rebuild a faithful native tree.
+    """
+
+    #: Identifier used in reports.
+    name: str = "view"
+
+    @abstractmethod
+    def transform(self, config_set: ConfigSet) -> ConfigSet:
+        """Map the system-specific ``config_set`` to the plugin representation."""
+
+    @abstractmethod
+    def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
+        """Map a (mutated) view back to system-specific trees.
+
+        Raises :class:`~repro.errors.SerializationError` when the mutated view
+        cannot be expressed in the original configuration format.
+        """
+
+
+class IdentityView(View):
+    """View whose plugin representation *is* the system-specific tree.
+
+    Useful when the native tree already has the shape a plugin needs (for
+    example the structural plugin on section/directive based formats), and
+    as the trivial case in tests.
+    """
+
+    name = "identity"
+
+    def transform(self, config_set: ConfigSet) -> ConfigSet:
+        return config_set.clone()
+
+    def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
+        return view_set.clone()

@@ -1,0 +1,56 @@
+"""Structure view: configuration files as sections containing directives.
+
+The structural-errors plugin needs the representation shown in the paper's
+Figure 2.b: directives grouped into (possibly nested) sections.  The native
+trees produced by the bundled parsers already have this shape, so the
+structural view is an identity mapping plus a set of helpers for finding
+sections and directives regardless of the dialect (flat files such as
+``postgresql.conf`` are treated as one implicit section: the file root).
+"""
+
+from __future__ import annotations
+
+from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
+from repro.core.views.base import View
+
+__all__ = ["StructureView"]
+
+
+class StructureView(View):
+    """Identity mapping with structural navigation helpers."""
+
+    name = "structure"
+
+    def transform(self, config_set: ConfigSet) -> ConfigSet:
+        return config_set.clone()
+
+    def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
+        return view_set.clone()
+
+    # ------------------------------------------------------------ navigation
+    @staticmethod
+    def sections(tree: ConfigTree) -> list[ConfigNode]:
+        """All explicit sections of ``tree`` in document order."""
+        return tree.find_all(lambda node: node.kind == "section")
+
+    @staticmethod
+    def directives(scope: ConfigTree | ConfigNode) -> list[ConfigNode]:
+        """All directives under ``scope`` (a tree or a section node)."""
+        root = scope.root if isinstance(scope, ConfigTree) else scope
+        return root.find_all(lambda node: node.kind == "directive")
+
+    @staticmethod
+    def directive_containers(tree: ConfigTree) -> list[ConfigNode]:
+        """Nodes that directly hold directives: sections, or the file root
+        for flat formats with no explicit sections."""
+        containers = [
+            node
+            for node in tree.walk()
+            if node.kind in ("file", "section") and node.children_of_kind("directive")
+        ]
+        return containers or [tree.root]
+
+    @staticmethod
+    def directives_in(container: ConfigNode) -> list[ConfigNode]:
+        """Direct directive children of a container node."""
+        return container.children_of_kind("directive")

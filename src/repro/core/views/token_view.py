@@ -1,0 +1,171 @@
+"""Token view: configuration files as lines of typed tokens.
+
+This is the representation the spelling-mistakes plugin works on
+(paper Figure 2.c): each configuration entry becomes a ``line`` node whose
+children are ``token`` nodes tagged with a *token type* (directive name,
+directive value word, section name, ...).  The token type lets the plugin
+restrict injection to a specific part of the configuration, e.g. mis-spell
+directive names only (Section 4.1).
+
+Every token records the address of the node it came from and the field it
+represents, which is the complementary information the reverse transform
+needs (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
+from repro.core.views.base import View
+from repro.errors import TransformError
+
+__all__ = ["TokenView", "TOKEN_DIRECTIVE_NAME", "TOKEN_DIRECTIVE_VALUE", "TOKEN_SECTION_NAME", "TOKEN_SECTION_ARG"]
+
+TOKEN_DIRECTIVE_NAME = "directive-name"
+TOKEN_DIRECTIVE_VALUE = "directive-value"
+TOKEN_SECTION_NAME = "section-name"
+TOKEN_SECTION_ARG = "section-arg"
+
+#: Node kinds that produce tokens (anything else -- comments, blanks -- is skipped).
+_TOKENISABLE_KINDS = {"directive", "section", "record", "control"}
+
+_WORD_SPLIT_RE = re.compile(r"(\s+)")
+
+
+def _index_path(node: ConfigNode) -> tuple[int, ...]:
+    """Child-index path of ``node`` from its tree root."""
+    indices: list[int] = []
+    current = node
+    while current.parent is not None:
+        indices.append(current.index_in_parent())
+        current = current.parent
+    indices.reverse()
+    return tuple(indices)
+
+
+def _resolve_path(tree: ConfigTree, path: tuple[int, ...]) -> ConfigNode:
+    node = tree.root
+    for index in path:
+        if index >= len(node.children):
+            raise TransformError(f"token source path {path} no longer exists in {tree.name!r}")
+        node = node.children[index]
+    return node
+
+
+def _split_words(value: str) -> tuple[list[str], list[str]]:
+    """Split ``value`` into words and the whitespace gaps between them."""
+    if value == "":
+        return [], []
+    parts = _WORD_SPLIT_RE.split(value)
+    words = parts[0::2]
+    gaps = parts[1::2]
+    # A leading gap produces an empty first word; keep it so reassembly is exact.
+    return words, gaps
+
+
+def _join_words(words: list[str], gaps: list[str]) -> str:
+    pieces: list[str] = []
+    for index, word in enumerate(words):
+        pieces.append(word)
+        if index < len(words) - 1:
+            pieces.append(gaps[index] if index < len(gaps) else " ")
+    return "".join(pieces)
+
+
+class TokenView(View):
+    """Bidirectional mapping between system trees and token/line trees."""
+
+    name = "tokens"
+
+    def __init__(self, include_values: bool = True, include_names: bool = True):
+        #: Whether directive/section values are tokenised.
+        self.include_values = include_values
+        #: Whether directive/section names are tokenised.
+        self.include_names = include_names
+
+    # ------------------------------------------------------------- transform
+    def transform(self, config_set: ConfigSet) -> ConfigSet:
+        view_trees = []
+        for tree in config_set:
+            view_root = ConfigNode("token-file", name=tree.name)
+            for node in tree.walk():
+                if node.kind not in _TOKENISABLE_KINDS:
+                    continue
+                line = self._line_for(tree, node)
+                if line.children:
+                    view_root.append(line)
+            view_trees.append(ConfigTree(tree.name, view_root, dialect="view:tokens"))
+        return ConfigSet(view_trees)
+
+    def _line_for(self, tree: ConfigTree, node: ConfigNode) -> ConfigNode:
+        path = _index_path(node)
+        line = ConfigNode(
+            "line",
+            name=node.name,
+            attrs={"source_tree": tree.name, "source_path": path, "source_kind": node.kind},
+        )
+        if self.include_names and node.name is not None:
+            name_type = TOKEN_SECTION_NAME if node.kind == "section" else TOKEN_DIRECTIVE_NAME
+            line.append(
+                ConfigNode(
+                    "token",
+                    value=node.name,
+                    attrs={
+                        "token_type": name_type,
+                        "source_tree": tree.name,
+                        "source_path": path,
+                        "field": "name",
+                        "owner_name": node.name,
+                    },
+                )
+            )
+        if self.include_values and node.value is not None:
+            value_type = TOKEN_SECTION_ARG if node.kind == "section" else TOKEN_DIRECTIVE_VALUE
+            words, gaps = _split_words(node.value)
+            line.set("value_gaps", gaps)
+            for word_index, word in enumerate(words):
+                line.append(
+                    ConfigNode(
+                        "token",
+                        value=word,
+                        attrs={
+                            "token_type": value_type,
+                            "source_tree": tree.name,
+                            "source_path": path,
+                            "field": "value",
+                            "word_index": word_index,
+                            "owner_name": node.name,
+                        },
+                    )
+                )
+        return line
+
+    # ----------------------------------------------------------- untransform
+    def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
+        result = original.clone()
+        for view_tree in view_set:
+            for line in view_tree.root.children_of_kind("line"):
+                self._apply_line(line, result)
+        return result
+
+    def _apply_line(self, line: ConfigNode, result: ConfigSet) -> None:
+        tree_name = line.get("source_tree")
+        path = tuple(line.get("source_path", ()))
+        if tree_name not in result:
+            raise TransformError(f"token line refers to unknown file {tree_name!r}")
+        target = _resolve_path(result.get(tree_name), path)
+
+        name_tokens = [
+            token for token in line.children_of_kind("token") if token.get("field") == "name"
+        ]
+        value_tokens = [
+            token for token in line.children_of_kind("token") if token.get("field") == "value"
+        ]
+        if name_tokens:
+            target.name = name_tokens[0].value
+        if value_tokens or line.get("value_gaps") is not None:
+            words = [token.value if token.value is not None else "" for token in value_tokens]
+            gaps = list(line.get("value_gaps", []))
+            if target.value is not None or words:
+                target.value = _join_words(words, gaps) if words else target.value

@@ -1,0 +1,31 @@
+"""DNS domain model shared by the semantic-error plugin and the DNS SUTs.
+
+The paper's semantic case study (Section 5.4) operates on "an abstract
+representation that shows the DNS records published by each server".  This
+package provides that representation:
+
+* :mod:`repro.dns.names`    -- domain-name normalisation and reverse-pointer names,
+* :mod:`repro.dns.records`  -- the :class:`DnsRecord` model and :class:`RecordSet`,
+* :mod:`repro.dns.resolver` -- a small resolver (CNAME chasing, reverse lookups)
+  used by the simulated BIND and djbdns servers to answer functional tests.
+"""
+
+from repro.dns.names import (
+    is_reverse_name,
+    ip_from_reverse_name,
+    normalize_name,
+    reverse_pointer_name,
+)
+from repro.dns.records import DnsRecord, RecordSet
+from repro.dns.resolver import ResolutionError, Resolver
+
+__all__ = [
+    "DnsRecord",
+    "RecordSet",
+    "Resolver",
+    "ResolutionError",
+    "normalize_name",
+    "reverse_pointer_name",
+    "ip_from_reverse_name",
+    "is_reverse_name",
+]

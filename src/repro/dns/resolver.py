@@ -1,0 +1,81 @@
+"""A small DNS resolver over a :class:`~repro.dns.records.RecordSet`.
+
+The simulated BIND and djbdns servers answer the functional-test queries
+("is the server answering requests for the forward and reverse zone?",
+paper Section 5.1) by running this resolver against the records they loaded
+from their configuration files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.names import normalize_name, reverse_pointer_name
+from repro.dns.records import DnsRecord, RecordSet
+from repro.errors import ConfErrError
+
+__all__ = ["Resolver", "ResolutionError", "Answer"]
+
+_MAX_CNAME_CHAIN = 8
+
+
+class ResolutionError(ConfErrError):
+    """A query could not be answered (NXDOMAIN, missing data or CNAME loop)."""
+
+
+@dataclass(frozen=True)
+class Answer:
+    """Result of a query: the matching records and the CNAME chain followed."""
+
+    records: tuple[DnsRecord, ...]
+    cname_chain: tuple[str, ...] = ()
+
+    def values(self) -> list[str]:
+        """The record values, in answer order."""
+        return [record.value for record in self.records]
+
+
+class Resolver:
+    """Answers queries against a fixed record set (authoritative-only)."""
+
+    def __init__(self, record_set: RecordSet):
+        self.record_set = record_set
+
+    def resolve(self, name: str, rtype: str) -> Answer:
+        """Resolve ``name``/``rtype``, following CNAME records.
+
+        Raises :class:`ResolutionError` when no data exists, when a CNAME
+        chain exceeds the loop-protection limit, or when a CNAME points to a
+        name that has no records of the requested type.
+        """
+        rtype = rtype.upper()
+        current = normalize_name(name)
+        chain: list[str] = []
+        for _ in range(_MAX_CNAME_CHAIN):
+            direct = self.record_set.records(current, rtype)
+            if direct:
+                return Answer(tuple(direct), tuple(chain))
+            if rtype != "CNAME":
+                aliases = self.record_set.records(current, "CNAME")
+                if aliases:
+                    chain.append(current)
+                    current = aliases[0].value
+                    continue
+            raise ResolutionError(f"no {rtype} records for {current!r}")
+        raise ResolutionError(f"CNAME chain too long while resolving {name!r}")
+
+    def address_of(self, name: str) -> str:
+        """Convenience: first A record value for ``name`` (following CNAMEs)."""
+        return self.resolve(name, "A").records[0].value
+
+    def reverse_lookup(self, ip_address: str) -> str:
+        """Name referenced by the PTR record of ``ip_address``."""
+        pointer = reverse_pointer_name(ip_address)
+        answer = self.resolve(pointer, "PTR")
+        return answer.records[0].value
+
+    def mail_exchangers(self, domain: str) -> list[tuple[int, str]]:
+        """(priority, exchanger) pairs for ``domain``, sorted by priority."""
+        answer = self.resolve(domain, "MX")
+        pairs = [(record.priority or 0, record.value) for record in answer.records]
+        return sorted(pairs)

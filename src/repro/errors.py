@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ConfErr reproduction.
+
+Every error raised by the library derives from :class:`ConfErrError`, so
+callers can catch a single base class.  More specific subclasses describe
+the stage of the pipeline at which the failure occurred:
+
+* parsing / serialising native configuration files,
+* mapping between the system-specific tree and a plugin-specific view,
+* generating fault scenarios from templates,
+* driving the system under test (SUT).
+"""
+
+from __future__ import annotations
+
+
+class ConfErrError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ConfErrError):
+    """A native configuration file could not be parsed.
+
+    Attributes
+    ----------
+    filename:
+        Name of the file that failed to parse (may be ``"<string>"``).
+    line:
+        1-based line number of the offending input, when known.
+    """
+
+    def __init__(self, message: str, *, filename: str = "<string>", line: int | None = None):
+        self.filename = filename
+        self.line = line
+        location = filename if line is None else f"{filename}:{line}"
+        super().__init__(f"{location}: {message}")
+
+
+class SerializationError(ConfErrError):
+    """A configuration tree cannot be expressed in the native file format.
+
+    The paper (Section 3.2 / 5.4) relies on this: some mutated abstract
+    representations cannot be turned back into a valid configuration file
+    (for example djbdns cannot express a PTR record detached from its A
+    record), and ConfErr must detect and report this rather than inject a
+    malformed file.
+    """
+
+
+class TransformError(ConfErrError):
+    """A view transformation (system-specific tree <-> plugin view) failed."""
+
+
+class PathSyntaxError(ConfErrError):
+    """A node-selection path expression could not be parsed."""
+
+
+class TemplateError(ConfErrError):
+    """An error template was mis-parameterised or could not be applied."""
+
+
+class PluginError(ConfErrError):
+    """An error-generator plugin failed to produce fault scenarios."""
+
+
+class SUTError(ConfErrError):
+    """The system under test could not be driven (setup/start/stop failures
+    unrelated to the injected configuration error)."""
+
+
+class CampaignError(ConfErrError):
+    """An injection campaign was misconfigured."""

@@ -1,0 +1,26 @@
+"""Keyboard models used by the spelling-mistake plugin.
+
+The paper (Section 4.1) generates realistic substitutions and insertions by
+encoding a true keyboard: find the key (and modifiers) that produces the
+character at the injection point, then enumerate the characters produced by
+pressing *nearby* keys with the same modifiers.
+
+This package provides the key-geometry model (:mod:`repro.keyboard.layout`),
+concrete layouts (QWERTY-US, AZERTY, Dvorak; :mod:`repro.keyboard.layouts`)
+and the neighbour/modifier logic (:mod:`repro.keyboard.typist`).
+"""
+
+from repro.keyboard.layout import Key, KeyboardLayout
+from repro.keyboard.layouts import available_layouts, get_layout, qwerty_us, azerty_fr, dvorak
+from repro.keyboard.typist import Typist
+
+__all__ = [
+    "Key",
+    "KeyboardLayout",
+    "Typist",
+    "available_layouts",
+    "get_layout",
+    "qwerty_us",
+    "azerty_fr",
+    "dvorak",
+]

@@ -1,0 +1,81 @@
+"""Concrete keyboard layouts.
+
+Three layouts are provided:
+
+* ``qwerty_us`` -- the US QWERTY layout (default, matches the paper's setup),
+* ``azerty_fr`` -- French AZERTY,
+* ``dvorak``    -- simplified Dvorak.
+
+Layouts are built lazily and cached, and can be looked up by name with
+:func:`get_layout`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.keyboard.layout import Key, KeyboardLayout, NO_MODIFIERS, SHIFT_ONLY, build_rows
+
+__all__ = ["qwerty_us", "azerty_fr", "dvorak", "get_layout", "available_layouts"]
+
+
+def _space_key(row: int = 4, column: float = 4.0) -> Key:
+    return Key("space", row, column, outputs={NO_MODIFIERS: " ", SHIFT_ONLY: " "})
+
+
+@lru_cache(maxsize=None)
+def qwerty_us() -> KeyboardLayout:
+    """US QWERTY layout with digits, letters and common punctuation."""
+    rows = [
+        (0, 0.0, "`1234567890-=", "~!@#$%^&*()_+"),
+        (1, 0.5, "qwertyuiop[]\\", "QWERTYUIOP{}|"),
+        (2, 0.75, "asdfghjkl;'", 'ASDFGHJKL:"'),
+        (3, 1.25, "zxcvbnm,./", "ZXCVBNM<>?"),
+    ]
+    return build_rows("qwerty-us", rows, extra_keys=[_space_key()])
+
+
+@lru_cache(maxsize=None)
+def azerty_fr() -> KeyboardLayout:
+    """French AZERTY layout (simplified: no dead keys, AltGr omitted)."""
+    rows = [
+        (0, 0.0, "²&é\"'(-è_çà)=", "²1234567890°+"),
+        (1, 0.5, "azertyuiop^$", "AZERTYUIOP¨£"),
+        (2, 0.75, "qsdfghjklmù", "QSDFGHJKLM%"),
+        (3, 1.25, "wxcvbn,;:!", "WXCVBN?./§"),
+    ]
+    return build_rows("azerty-fr", rows, extra_keys=[_space_key()])
+
+
+@lru_cache(maxsize=None)
+def dvorak() -> KeyboardLayout:
+    """Simplified US Dvorak layout."""
+    rows = [
+        (0, 0.0, "`1234567890[]", "~!@#$%^&*(){}"),
+        (1, 0.5, "',.pyfgcrl/=\\", '"<>PYFGCRL?+|'),
+        (2, 0.75, "aoeuidhtns-", "AOEUIDHTNS_"),
+        (3, 1.25, ";qjkxbmwvz", ":QJKXBMWVZ"),
+    ]
+    return build_rows("dvorak", rows, extra_keys=[_space_key()])
+
+
+_LAYOUT_FACTORIES = {
+    "qwerty-us": qwerty_us,
+    "qwerty": qwerty_us,
+    "azerty-fr": azerty_fr,
+    "azerty": azerty_fr,
+    "dvorak": dvorak,
+}
+
+
+def available_layouts() -> list[str]:
+    """Canonical names of the bundled layouts."""
+    return ["qwerty-us", "azerty-fr", "dvorak"]
+
+
+def get_layout(name: str) -> KeyboardLayout:
+    """Look a layout up by name (case-insensitive); raises KeyError if unknown."""
+    factory = _LAYOUT_FACTORIES.get(name.lower())
+    if factory is None:
+        raise KeyError(f"unknown keyboard layout {name!r}; available: {available_layouts()}")
+    return factory()

@@ -1,0 +1,33 @@
+"""Parsers and serialisers for native configuration file formats.
+
+ConfErr's first pipeline stage turns each configuration file into a
+system-specific abstract tree that carries enough information to recreate
+the original file (paper Section 3.2).  Each module in this package
+implements one *dialect*: a matched parser/serialiser pair registered under
+a name.
+
+Bundled dialects
+----------------
+``lineconf``  generic line-oriented ``key value`` / ``key = value`` files
+``ini``       MySQL ``my.cnf``-style INI files with ``[section]`` headers
+``pgconf``    ``postgresql.conf`` (flat ``name = value`` with quoting)
+``apache``    Apache ``httpd.conf`` (directives + nested ``<Section>`` blocks)
+``namedconf`` BIND ``named.conf`` (braced statements)
+``bindzone``  BIND master zone files (resource records)
+``tinydns``   djbdns ``data`` files (one record definition per line)
+``xml``       generic XML configuration files
+"""
+
+from repro.parsers.base import ConfigDialect, available_dialects, get_dialect, register_dialect
+from repro.parsers import (  # noqa: F401  (imported for registration side effects)
+    apacheconf,
+    bindzone,
+    ini,
+    lineconf,
+    namedconf,
+    pgconf,
+    tinydns,
+    xmlconf,
+)
+
+__all__ = ["ConfigDialect", "available_dialects", "get_dialect", "register_dialect"]

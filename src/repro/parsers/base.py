@@ -1,0 +1,85 @@
+"""Dialect registry and the parser/serialiser interface.
+
+A :class:`ConfigDialect` couples a parser (native text -> :class:`ConfigTree`)
+with the matching serialiser (tree -> native text).  Dialects register
+themselves in a module-level registry so that the engine can serialise any
+tree by looking at its ``dialect`` attribute.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.infoset import ConfigTree
+from repro.errors import SerializationError
+
+__all__ = ["ConfigDialect", "register_dialect", "get_dialect", "available_dialects", "serialize_tree"]
+
+_REGISTRY: dict[str, "ConfigDialect"] = {}
+
+
+class ConfigDialect(ABC):
+    """One configuration file format: how to parse it and how to write it back."""
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+        """Parse native ``text`` into a system-specific configuration tree."""
+
+    @abstractmethod
+    def serialize(self, tree: ConfigTree) -> str:
+        """Render ``tree`` back to native text.
+
+        Must raise :class:`~repro.errors.SerializationError` when the tree
+        contains structures the format cannot express (the paper relies on
+        this to detect impossible mutations, Sections 3.2 and 5.4).
+        """
+
+    # convenience -----------------------------------------------------------
+    def parse_file(self, path: str) -> ConfigTree:
+        """Parse the file at ``path`` (the tree is named after its basename)."""
+        import os
+
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return self.parse(text, filename=os.path.basename(path))
+
+    def roundtrip(self, text: str, filename: str = "<string>") -> str:
+        """Parse then serialise ``text`` (useful for format-fidelity tests)."""
+        return self.serialize(self.parse(text, filename))
+
+
+def register_dialect(dialect: ConfigDialect) -> ConfigDialect:
+    """Register ``dialect`` under its name (later registrations override)."""
+    if not dialect.name:
+        raise ValueError("dialect must define a non-empty name")
+    _REGISTRY[dialect.name] = dialect
+    return dialect
+
+
+def get_dialect(name: str) -> ConfigDialect:
+    """Return the dialect registered under ``name`` (KeyError if unknown)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown configuration dialect {name!r}; available: {available_dialects()}")
+    return _REGISTRY[name]
+
+
+def available_dialects() -> list[str]:
+    """Names of all registered dialects, sorted."""
+    return sorted(_REGISTRY)
+
+
+def serialize_tree(tree: ConfigTree) -> str:
+    """Serialise ``tree`` with the dialect recorded on it.
+
+    Raises :class:`~repro.errors.SerializationError` when the dialect is not
+    registered (a tree produced by a view transform that cannot be written
+    back) or when the dialect itself refuses the tree.
+    """
+    try:
+        dialect = get_dialect(tree.dialect)
+    except KeyError as exc:
+        raise SerializationError(str(exc)) from exc
+    return dialect.serialize(tree)

@@ -1,0 +1,93 @@
+"""Generic line-oriented configuration dialect.
+
+Handles the simplest, very common format: one directive per line, where a
+directive is ``name``, ``name value`` or ``name = value``; ``#`` starts a
+comment.  This is the catch-all dialect the paper refers to as "traditional
+line-oriented configuration files" (Section 3.2).
+
+Tree shape
+----------
+``file`` root with children of kind ``directive`` (name, value, attrs
+``separator`` and ``indent``), ``comment`` (value holds the text after the
+marker) and ``blank``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.infoset import ConfigNode, ConfigTree
+from repro.errors import SerializationError
+from repro.parsers.base import ConfigDialect, register_dialect
+
+__all__ = ["LineConfDialect", "DIALECT"]
+
+_DIRECTIVE_RE = re.compile(
+    r"^(?P<indent>\s*)(?P<name>[^\s=#]+)(?P<separator>\s*=\s*|\s+)?(?P<value>.*)$"
+)
+
+
+class LineConfDialect(ConfigDialect):
+    """Parser/serialiser for plain ``key [=] value`` files."""
+
+    name = "lineconf"
+
+    def __init__(self, comment_markers: tuple[str, ...] = ("#",)):
+        self.comment_markers = comment_markers
+
+    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+        root = ConfigNode("file", name=filename)
+        for raw_line in text.splitlines():
+            root.append(self._parse_line(raw_line))
+        root.set("trailing_newline", text.endswith("\n") or text == "")
+        return ConfigTree(filename, root, dialect=self.name)
+
+    def _parse_line(self, raw_line: str) -> ConfigNode:
+        stripped = raw_line.strip()
+        if not stripped:
+            return ConfigNode("blank", attrs={"raw": raw_line})
+        for marker in self.comment_markers:
+            if stripped.startswith(marker):
+                return ConfigNode(
+                    "comment",
+                    value=stripped[len(marker):],
+                    attrs={"marker": marker, "indent": raw_line[: len(raw_line) - len(raw_line.lstrip())]},
+                )
+        match = _DIRECTIVE_RE.match(raw_line)
+        assert match is not None  # the regex accepts any non-blank line
+        value = match.group("value")
+        separator = match.group("separator") or ""
+        return ConfigNode(
+            "directive",
+            name=match.group("name"),
+            value=value if separator else None,
+            attrs={"separator": separator, "indent": match.group("indent")},
+        )
+
+    def serialize(self, tree: ConfigTree) -> str:
+        lines: list[str] = []
+        for node in tree.root.children:
+            lines.append(self._serialize_node(node))
+        text = "\n".join(lines)
+        if tree.root.get("trailing_newline", True) and text:
+            text += "\n"
+        return text
+
+    def _serialize_node(self, node: ConfigNode) -> str:
+        if node.kind == "blank":
+            return node.get("raw", "")
+        if node.kind == "comment":
+            return f"{node.get('indent', '')}{node.get('marker', '#')}{node.value or ''}"
+        if node.kind == "directive":
+            indent = node.get("indent", "")
+            name = node.name or ""
+            if node.value is None:
+                return f"{indent}{name}"
+            separator = node.get("separator") or " "
+            return f"{indent}{name}{separator}{node.value}"
+        raise SerializationError(
+            f"lineconf cannot express node kind {node.kind!r} (sections are not supported)"
+        )
+
+
+DIALECT = register_dialect(LineConfDialect())

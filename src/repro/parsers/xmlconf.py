@@ -1,0 +1,82 @@
+"""Generic XML configuration dialect.
+
+Many applications use XML configuration files; the paper lists generic XML
+among ConfErr's supported input formats (Section 3.2).  This dialect maps
+XML elements onto configuration nodes using the standard library parser.
+
+Tree shape
+----------
+``file`` root with a single ``element`` child for the document element; each
+``element`` node has ``name`` = tag, ``value`` = stripped text content (or
+None) and the XML attributes copied into ``attrs`` (prefixed with ``xml:``
+to keep them apart from layout attributes).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.infoset import ConfigNode, ConfigTree
+from repro.errors import ParseError, SerializationError
+from repro.parsers.base import ConfigDialect, register_dialect
+
+__all__ = ["XmlConfDialect", "DIALECT"]
+
+_ATTR_PREFIX = "xml:"
+
+
+class XmlConfDialect(ConfigDialect):
+    """Parser/serialiser for generic XML configuration files."""
+
+    name = "xml"
+
+    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+        try:
+            document = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ParseError(f"invalid XML: {exc}", filename=filename) from exc
+        root = ConfigNode("file", name=filename)
+        root.append(self._element_to_node(document))
+        return ConfigTree(filename, root, dialect=self.name)
+
+    def _element_to_node(self, element: ET.Element) -> ConfigNode:
+        text = (element.text or "").strip() or None
+        node = ConfigNode(
+            "element",
+            name=element.tag,
+            value=text,
+            attrs={f"{_ATTR_PREFIX}{key}": value for key, value in element.attrib.items()},
+        )
+        for child in element:
+            node.append(self._element_to_node(child))
+        return node
+
+    def serialize(self, tree: ConfigTree) -> str:
+        elements = tree.root.children_of_kind("element")
+        if len(elements) != 1:
+            raise SerializationError(
+                f"XML documents need exactly one root element, found {len(elements)}"
+            )
+        element = self._node_to_element(elements[0])
+        ET.indent(element)
+        return ET.tostring(element, encoding="unicode") + "\n"
+
+    def _node_to_element(self, node: ConfigNode) -> ET.Element:
+        if node.kind != "element":
+            raise SerializationError(f"XML cannot express node kind {node.kind!r}")
+        if not node.name:
+            raise SerializationError("XML elements require a tag name")
+        attributes = {
+            key[len(_ATTR_PREFIX):]: str(value)
+            for key, value in node.attrs.items()
+            if key.startswith(_ATTR_PREFIX)
+        }
+        element = ET.Element(node.name, attributes)
+        if node.value is not None:
+            element.text = node.value
+        for child in node.children:
+            element.append(self._node_to_element(child))
+        return element
+
+
+DIALECT = register_dialect(XmlConfDialect())

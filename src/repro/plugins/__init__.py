@@ -1,0 +1,37 @@
+"""Error generator plugins.
+
+A plugin bundles (paper Section 4): the view it needs, the error templates it
+instantiates, and the policy for selecting which concrete faults to inject.
+Three plugins reproduce the paper's models:
+
+* :class:`~repro.plugins.spelling.SpellingMistakesPlugin` -- one-letter typos
+  (omission, insertion, substitution, case alteration, transposition),
+* :class:`~repro.plugins.structural.StructuralErrorsPlugin` -- omission,
+  duplication and misplacement of directives/sections, plus the semantically
+  neutral structural *variations* of Section 5.3,
+* :class:`~repro.plugins.semantic_dns.DnsSemanticErrorsPlugin` -- RFC-1912
+  style record-level errors for DNS servers.
+
+An extension plugin, :class:`~repro.plugins.semantic_db.ConstraintViolationPlugin`,
+covers the paper's other semantic class (inconsistent cross-directive
+configurations).
+"""
+
+from repro.plugins.base import ErrorGeneratorPlugin, available_plugins, get_plugin, register_plugin
+from repro.plugins.spelling import SpellingMistakesPlugin
+from repro.plugins.structural import StructuralErrorsPlugin, StructuralVariationsPlugin
+from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
+from repro.plugins.semantic_db import ConstraintSpec, ConstraintViolationPlugin
+
+__all__ = [
+    "ErrorGeneratorPlugin",
+    "available_plugins",
+    "get_plugin",
+    "register_plugin",
+    "SpellingMistakesPlugin",
+    "StructuralErrorsPlugin",
+    "StructuralVariationsPlugin",
+    "DnsSemanticErrorsPlugin",
+    "ConstraintSpec",
+    "ConstraintViolationPlugin",
+]

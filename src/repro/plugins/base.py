@@ -1,0 +1,58 @@
+"""Plugin interface and registry."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.infoset import ConfigSet
+from repro.core.templates.base import FaultScenario
+from repro.core.views.base import View
+
+__all__ = ["ErrorGeneratorPlugin", "register_plugin", "get_plugin", "available_plugins"]
+
+_REGISTRY: dict[str, type["ErrorGeneratorPlugin"]] = {}
+
+
+class ErrorGeneratorPlugin(ABC):
+    """An error model packaged for the injection engine.
+
+    A plugin declares the :class:`~repro.core.views.base.View` it operates on
+    and generates :class:`FaultScenario` objects from the *view* of the
+    configuration set.  The engine owns the rest of the pipeline: applying a
+    scenario to a fresh view, mapping the mutated view back to the native
+    trees and serialising them.
+    """
+
+    #: Registry name of the plugin.
+    name: str = "plugin"
+
+    @property
+    @abstractmethod
+    def view(self) -> View:
+        """View this plugin's scenarios are defined on."""
+
+    @abstractmethod
+    def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
+        """Produce the fault scenarios for one campaign run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def register_plugin(plugin_class: type[ErrorGeneratorPlugin]) -> type[ErrorGeneratorPlugin]:
+    """Class decorator registering a plugin under its ``name``."""
+    _REGISTRY[plugin_class.name] = plugin_class
+    return plugin_class
+
+
+def get_plugin(name: str) -> type[ErrorGeneratorPlugin]:
+    """Return the plugin class registered under ``name``."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown plugin {name!r}; available: {available_plugins()}")
+    return _REGISTRY[name]
+
+
+def available_plugins() -> list[str]:
+    """Names of all registered plugins, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,96 @@
+"""Constraint-violation plugin: inconsistent cross-directive configurations.
+
+The paper's first class of semantic errors (Section 2.3) is the *inconsistent
+configuration*: the value of one parameter must relate in a specific way to
+the value of another (the shared-memory pool vs. the maximum number of client
+connections, or Postgres' requirement that ``max_fsm_pages`` be at least
+sixteen times ``max_fsm_relations``), and an operator who does not know the
+relation produces a configuration that violates it.
+
+This plugin takes declarative :class:`ConstraintSpec` descriptions and
+produces scenarios that set one of the related directives to a value breaking
+the constraint while leaving the other untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.infoset import ConfigNode, ConfigSet
+from repro.core.templates.base import FaultScenario, SetFieldOperation, address_of
+from repro.core.views.structure_view import StructureView
+from repro.errors import PluginError
+from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+
+__all__ = ["ConstraintSpec", "ConstraintViolationPlugin"]
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """A relation between two directives and how to violate it.
+
+    ``violating_value`` receives the current values of the two directives (as
+    strings) and returns a new value for ``directive`` that breaks the
+    relation with ``related_directive``.
+    """
+
+    name: str
+    directive: str
+    related_directive: str
+    description: str
+    violating_value: Callable[[str | None, str | None], str]
+
+
+def _find_directive(view_set: ConfigSet, name: str) -> tuple[ConfigNode, object] | None:
+    lowered = name.lower()
+    for tree in view_set:
+        for node in tree.walk():
+            if node.kind == "directive" and (node.name or "").lower() == lowered:
+                return node, address_of(view_set, node)
+    return None
+
+
+@register_plugin
+class ConstraintViolationPlugin(ErrorGeneratorPlugin):
+    """Generate configurations violating declared cross-directive constraints."""
+
+    name = "semantic-constraints"
+
+    def __init__(self, constraints: Sequence[ConstraintSpec]):
+        if not constraints:
+            raise PluginError("ConstraintViolationPlugin requires at least one constraint")
+        self.constraints = list(constraints)
+        self._view = StructureView()
+
+    @property
+    def view(self) -> StructureView:
+        return self._view
+
+    def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
+        scenarios: list[FaultScenario] = []
+        for ordinal, spec in enumerate(self.constraints):
+            target = _find_directive(view_set, spec.directive)
+            related = _find_directive(view_set, spec.related_directive)
+            if target is None:
+                continue
+            target_node, target_address = target
+            related_value = related[0].value if related is not None else None
+            new_value = spec.violating_value(target_node.value, related_value)
+            scenarios.append(
+                FaultScenario(
+                    scenario_id=f"constraint-{ordinal}-{spec.name}",
+                    description=f"violate constraint {spec.name}: {spec.description}",
+                    category="semantic-constraint",
+                    operations=(SetFieldOperation(target_address, "value", new_value),),
+                    metadata={
+                        "constraint": spec.name,
+                        "directive": spec.directive,
+                        "related_directive": spec.related_directive,
+                        "original": target_node.value,
+                        "mutated": new_value,
+                    },
+                )
+            )
+        return scenarios

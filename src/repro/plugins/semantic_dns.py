@@ -1,0 +1,272 @@
+"""DNS semantic-errors plugin (RFC-1912 style record mistakes).
+
+The plugin operates on the system-independent DNS record view
+(:class:`~repro.core.views.dns_view.DnsRecordView`) and injects the
+record-level misconfigurations discussed in Sections 2.3 and 5.4:
+
+1. **missing-ptr** -- a host's reverse mapping is removed (forward and
+   reverse mappings are no longer consistent),
+2. **ptr-to-cname** -- a PTR record is redirected to an alias instead of the
+   canonical host name,
+3. **ns-cname-clash** -- a CNAME record is added for a name that already
+   owns an NS record (RFC-1912 forbids a CNAME coexisting with other data),
+4. **mx-to-cname** -- an MX record is redirected to an alias,
+5. **cname-for-address** -- a host's A record is replaced by a CNAME
+   (the Section 2.3 example of using the wrong record type to assign an
+   address),
+6. **missing-forward** -- a host's A record is removed while its PTR stays.
+
+Whether a scenario can be injected at all depends on the expressiveness of
+the target's configuration format: djbdns' combined ``=`` directive cannot
+express classes 1, 2 and 6, and the engine reports those scenarios as
+impossible (Table 3 "N/A" entries).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.infoset import ConfigNode, ConfigSet
+from repro.core.templates.base import (
+    DeleteOperation,
+    FaultScenario,
+    InsertOperation,
+    NodeAddress,
+    SetFieldOperation,
+    address_of,
+)
+from repro.core.views.dns_view import DnsRecordView, VIEW_TREE_NAME, make_record_node
+from repro.errors import PluginError
+from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+
+__all__ = ["DnsSemanticErrorsPlugin", "FAULT_CLASSES"]
+
+#: Supported fault classes, in the order used by the Table 3 benchmark.
+FAULT_CLASSES = (
+    "missing-ptr",
+    "ptr-to-cname",
+    "ns-cname-clash",
+    "mx-to-cname",
+    "cname-for-address",
+    "missing-forward",
+)
+
+
+@register_plugin
+class DnsSemanticErrorsPlugin(ErrorGeneratorPlugin):
+    """Generate RFC-1912 style record-level configuration errors.
+
+    Parameters
+    ----------
+    classes:
+        Which fault classes to generate (default: all of :data:`FAULT_CLASSES`).
+    max_scenarios_per_class:
+        When set, at most this many scenarios are kept per class (random
+        subset, drawn from the engine's seeded RNG).
+    """
+
+    name = "semantic-dns"
+
+    def __init__(
+        self,
+        classes: Sequence[str] | None = None,
+        max_scenarios_per_class: int | None = None,
+    ):
+        self.classes = tuple(classes) if classes is not None else FAULT_CLASSES
+        unknown = set(self.classes) - set(FAULT_CLASSES)
+        if unknown:
+            raise PluginError(f"unknown DNS semantic fault classes: {sorted(unknown)}")
+        self.max_scenarios_per_class = max_scenarios_per_class
+        self._view = DnsRecordView()
+
+    @property
+    def view(self) -> DnsRecordView:
+        return self._view
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _records(view_set: ConfigSet, rtype: str | None = None) -> list[tuple[ConfigNode, NodeAddress]]:
+        tree = view_set.get(VIEW_TREE_NAME)
+        result = []
+        for node in tree.root.children_of_kind("dns-record"):
+            if rtype is None or node.get("rtype") == rtype:
+                result.append((node, address_of(view_set, node)))
+        return result
+
+    @staticmethod
+    def _alias_names(view_set: ConfigSet) -> list[str]:
+        """Owner names of CNAME records (candidates for "points to an alias")."""
+        tree = view_set.get(VIEW_TREE_NAME)
+        return [
+            node.name or ""
+            for node in tree.root.children_of_kind("dns-record")
+            if node.get("rtype") == "CNAME"
+        ]
+
+    @staticmethod
+    def _root_address(view_set: ConfigSet) -> NodeAddress:
+        return NodeAddress(VIEW_TREE_NAME, ())
+
+    # ---------------------------------------------------------------- builders
+    def _build_missing_ptr(self, view_set: ConfigSet) -> list[FaultScenario]:
+        scenarios = []
+        for ordinal, (record, address) in enumerate(self._records(view_set, "PTR")):
+            scenarios.append(
+                FaultScenario(
+                    scenario_id=f"missing-ptr-{ordinal}",
+                    description=f"remove the PTR record mapping back to {record.value}",
+                    category="semantic-missing-ptr",
+                    operations=(DeleteOperation(address),),
+                    metadata={"owner": record.name, "target": record.value},
+                )
+            )
+        return scenarios
+
+    def _build_missing_forward(self, view_set: ConfigSet) -> list[FaultScenario]:
+        scenarios = []
+        ptr_targets = {record.value for record, _ in self._records(view_set, "PTR")}
+        ordinal = 0
+        for record, address in self._records(view_set, "A"):
+            if record.name not in ptr_targets:
+                continue
+            scenarios.append(
+                FaultScenario(
+                    scenario_id=f"missing-forward-{ordinal}",
+                    description=f"remove the A record of {record.name} while keeping its PTR",
+                    category="semantic-missing-forward",
+                    operations=(DeleteOperation(address),),
+                    metadata={"owner": record.name, "address": record.value},
+                )
+            )
+            ordinal += 1
+        return scenarios
+
+    def _build_ptr_to_cname(self, view_set: ConfigSet) -> list[FaultScenario]:
+        aliases = self._alias_names(view_set)
+        if not aliases:
+            return []
+        scenarios = []
+        ordinal = 0
+        for record, address in self._records(view_set, "PTR"):
+            for alias in aliases:
+                if alias == record.value:
+                    continue
+                scenarios.append(
+                    FaultScenario(
+                        scenario_id=f"ptr-to-cname-{ordinal}",
+                        description=f"point the PTR of {record.name} at the alias {alias}",
+                        category="semantic-ptr-to-cname",
+                        operations=(SetFieldOperation(address, "value", alias),),
+                        metadata={"owner": record.name, "original": record.value, "alias": alias},
+                    )
+                )
+                ordinal += 1
+        return scenarios
+
+    def _build_mx_to_cname(self, view_set: ConfigSet) -> list[FaultScenario]:
+        aliases = self._alias_names(view_set)
+        if not aliases:
+            return []
+        scenarios = []
+        ordinal = 0
+        for record, address in self._records(view_set, "MX"):
+            for alias in aliases:
+                if alias == record.value:
+                    continue
+                scenarios.append(
+                    FaultScenario(
+                        scenario_id=f"mx-to-cname-{ordinal}",
+                        description=f"point the MX of {record.name} at the alias {alias}",
+                        category="semantic-mx-to-cname",
+                        operations=(SetFieldOperation(address, "value", alias),),
+                        metadata={"owner": record.name, "original": record.value, "alias": alias},
+                    )
+                )
+                ordinal += 1
+        return scenarios
+
+    def _build_ns_cname_clash(self, view_set: ConfigSet) -> list[FaultScenario]:
+        a_records = self._records(view_set, "A")
+        if not a_records:
+            return []
+        cname_target = a_records[0][0].name or ""
+        scenarios = []
+        seen_owners: set[str] = set()
+        ordinal = 0
+        for record, _address in self._records(view_set, "NS"):
+            owner = record.name or ""
+            if owner in seen_owners:
+                continue
+            seen_owners.add(owner)
+            new_record = make_record_node(owner, "CNAME", cname_target)
+            scenarios.append(
+                FaultScenario(
+                    scenario_id=f"ns-cname-clash-{ordinal}",
+                    description=(
+                        f"declare {owner} as an alias of {cname_target} although it already "
+                        "owns NS records"
+                    ),
+                    category="semantic-ns-cname-clash",
+                    operations=(InsertOperation(self._root_address(view_set), new_record),),
+                    metadata={"owner": owner, "alias_target": cname_target},
+                )
+            )
+            ordinal += 1
+        return scenarios
+
+    def _build_cname_for_address(self, view_set: ConfigSet) -> list[FaultScenario]:
+        a_records = self._records(view_set, "A")
+        if len(a_records) < 2:
+            return []
+        scenarios = []
+        ordinal = 0
+        for record, address in self._records(view_set, "A"):
+            # pick another host as the bogus alias target
+            other = next(
+                (candidate for candidate, _ in a_records if candidate.name != record.name), None
+            )
+            if other is None:
+                continue
+            replacement = make_record_node(record.name or "", "CNAME", other.name or "")
+            replacement.set("source_file", record.get("source_file"))
+            scenarios.append(
+                FaultScenario(
+                    scenario_id=f"cname-for-address-{ordinal}",
+                    description=(
+                        f"replace the A record of {record.name} with a CNAME to {other.name} "
+                        "(wrong record type used to assign an address)"
+                    ),
+                    category="semantic-cname-for-address",
+                    operations=(
+                        DeleteOperation(address),
+                        InsertOperation(self._root_address(view_set), replacement),
+                    ),
+                    metadata={"owner": record.name, "alias_target": other.name},
+                )
+            )
+            ordinal += 1
+        return scenarios
+
+    # ---------------------------------------------------------------- generate
+    def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
+        if VIEW_TREE_NAME not in view_set:
+            raise PluginError("semantic-dns plugin requires the DNS record view")
+        scenarios: list[FaultScenario] = []
+        builders = {
+            "missing-ptr": self._build_missing_ptr,
+            "ptr-to-cname": self._build_ptr_to_cname,
+            "ns-cname-clash": self._build_ns_cname_clash,
+            "mx-to-cname": self._build_mx_to_cname,
+            "cname-for-address": self._build_cname_for_address,
+            "missing-forward": self._build_missing_forward,
+        }
+        for fault_class in self.classes:
+            class_scenarios = builders[fault_class](view_set)
+            if (
+                self.max_scenarios_per_class is not None
+                and len(class_scenarios) > self.max_scenarios_per_class
+            ):
+                class_scenarios = rng.sample(class_scenarios, self.max_scenarios_per_class)
+            scenarios.extend(class_scenarios)
+        return scenarios

@@ -1,0 +1,24 @@
+"""Systems under test (SUTs).
+
+ConfErr needs, per system: initial configuration files, parsers/serialisers
+for them, scripts to start/stop the system and a diagnostic suite that
+decides the outcome of each injection (paper Section 5.1).  This package
+provides:
+
+* the abstract SUT interface (:mod:`repro.sut.base`) and the functional test
+  suites (:mod:`repro.sut.functional`),
+* a generic subprocess-based driver for real external systems
+  (:mod:`repro.sut.process`) and workspace management
+  (:mod:`repro.sut.workspace`),
+* high-fidelity simulated versions of the five systems the paper studies:
+  MySQL (:mod:`repro.sut.mysql`), PostgreSQL (:mod:`repro.sut.postgres`),
+  Apache httpd (:mod:`repro.sut.apache`), BIND and djbdns
+  (:mod:`repro.sut.dns`).  The simulations parse the same native
+  configuration formats and reproduce the validation behaviours (and known
+  weaknesses) the paper reports, so injection campaigns exercise the same
+  detection logic without requiring the real servers.
+"""
+
+from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest, TestResult
+
+__all__ = ["SystemUnderTest", "StartResult", "FunctionalTest", "TestResult"]

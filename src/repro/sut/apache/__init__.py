@@ -1,0 +1,6 @@
+"""Simulated Apache httpd 2.2-style web server."""
+
+from repro.sut.apache.directives import APACHE_DIRECTIVES, DEFAULT_HTTPD_CONF, DirectiveSpec
+from repro.sut.apache.server import SimulatedApache
+
+__all__ = ["SimulatedApache", "APACHE_DIRECTIVES", "DEFAULT_HTTPD_CONF", "DirectiveSpec"]

@@ -1,0 +1,278 @@
+"""Directive table and default configuration of the simulated Apache server.
+
+The directive table declares, for every directive the default ``httpd.conf``
+uses, how its argument is validated.  The validation *kinds* encode the
+behaviours the paper observed (Section 5.2):
+
+* ``number`` / ``port``  -- the argument must be numeric (``Listen``,
+  ``Timeout``, the prefork MPM knobs); anything else aborts startup;
+* ``onoff``              -- only ``On``/``Off`` are accepted;
+* ``enum``               -- the argument must come from a fixed word list
+  (``LogLevel``, ``Order`` ...);
+* ``freeform``           -- anything is accepted.  This is deliberately used
+  for ``AddType``, ``DefaultType``, ``ServerAdmin`` and ``ServerName``,
+  reproducing the laxity the paper criticises (no RFC-2045 type/subtype
+  check, no email/URL check, no host-name check);
+* ``path`` / ``args``    -- accepted as-is (the simulation cannot check the
+  file system the way real httpd does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DirectiveSpec", "APACHE_DIRECTIVES", "SECTION_TAGS", "DEFAULT_HTTPD_CONF"]
+
+
+@dataclass(frozen=True)
+class DirectiveSpec:
+    """Validation rule for one Apache directive."""
+
+    name: str
+    kind: str = "freeform"
+    choices: tuple[str, ...] = ()
+    min_args: int = 1
+    description: str = ""
+
+
+def _table(specs: list[DirectiveSpec]) -> dict[str, DirectiveSpec]:
+    return {spec.name.lower(): spec for spec in specs}
+
+
+#: Container sections allowed in the configuration.
+SECTION_TAGS = {
+    "directory", "directorymatch", "files", "filesmatch", "location", "locationmatch",
+    "virtualhost", "ifmodule", "ifdefine", "limit", "limitexcept", "proxy",
+}
+
+
+APACHE_DIRECTIVES: dict[str, DirectiveSpec] = _table(
+    [
+        # core server setup
+        DirectiveSpec("ServerRoot", "path"),
+        DirectiveSpec("ServerTokens", "enum", choices=("OS", "Full", "Min", "Minimal", "Major", "Minor", "Prod", "ProductOnly")),
+        DirectiveSpec("ServerSignature", "enum", choices=("On", "Off", "EMail")),
+        DirectiveSpec("ServerAdmin", "freeform", description="accepts freeform strings (paper flaw: no e-mail/URL check)"),
+        DirectiveSpec("ServerName", "freeform", description="accepts freeform strings (paper flaw: no host-name check)"),
+        DirectiveSpec("UseCanonicalName", "onoff"),
+        DirectiveSpec("PidFile", "path"),
+        DirectiveSpec("Listen", "port"),
+        DirectiveSpec("ListenBacklog", "number"),
+        DirectiveSpec("Timeout", "number"),
+        DirectiveSpec("KeepAlive", "onoff"),
+        DirectiveSpec("MaxKeepAliveRequests", "number"),
+        DirectiveSpec("KeepAliveTimeout", "number"),
+        DirectiveSpec("HostnameLookups", "onoff"),
+        DirectiveSpec("EnableMMAP", "onoff"),
+        DirectiveSpec("EnableSendfile", "onoff"),
+        DirectiveSpec("ExtendedStatus", "onoff"),
+        DirectiveSpec("User", "freeform"),
+        DirectiveSpec("Group", "freeform"),
+        DirectiveSpec("AccessFileName", "freeform"),
+        DirectiveSpec("AddDefaultCharset", "freeform"),
+        DirectiveSpec("ServerLimit", "number"),
+        DirectiveSpec("StartServers", "number"),
+        DirectiveSpec("MinSpareServers", "number"),
+        DirectiveSpec("MaxSpareServers", "number"),
+        DirectiveSpec("MaxClients", "number"),
+        DirectiveSpec("MaxRequestsPerChild", "number"),
+        DirectiveSpec("ThreadsPerChild", "number"),
+        # modules
+        DirectiveSpec("LoadModule", "args", min_args=2),
+        DirectiveSpec("Include", "path"),
+        # documents
+        DirectiveSpec("DocumentRoot", "path"),
+        DirectiveSpec("DirectoryIndex", "freeform"),
+        DirectiveSpec("Options", "options"),
+        DirectiveSpec("AllowOverride", "enum", choices=("None", "All", "AuthConfig", "FileInfo", "Indexes", "Limit", "Options")),
+        DirectiveSpec("Order", "enum", choices=("allow,deny", "deny,allow", "mutual-failure")),
+        DirectiveSpec("Allow", "fromlist", min_args=2),
+        DirectiveSpec("Deny", "fromlist", min_args=2),
+        DirectiveSpec("Satisfy", "enum", choices=("All", "Any")),
+        DirectiveSpec("Alias", "args", min_args=2),
+        DirectiveSpec("ScriptAlias", "args", min_args=2),
+        DirectiveSpec("UserDir", "freeform"),
+        # logging
+        DirectiveSpec("ErrorLog", "path"),
+        DirectiveSpec("LogLevel", "enum", choices=("debug", "info", "notice", "warn", "error", "crit", "alert", "emerg")),
+        DirectiveSpec("LogFormat", "args", min_args=1),
+        DirectiveSpec("CustomLog", "args", min_args=2),
+        DirectiveSpec("TransferLog", "path"),
+        # mime / content
+        DirectiveSpec("TypesConfig", "path"),
+        DirectiveSpec("DefaultType", "freeform", description="accepts freeform strings (paper flaw: no type/subtype check)"),
+        DirectiveSpec("MIMEMagicFile", "path"),
+        DirectiveSpec("AddType", "freeform", min_args=2, description="accepts freeform strings (paper flaw: no RFC-2045 check)"),
+        DirectiveSpec("AddEncoding", "args", min_args=2),
+        DirectiveSpec("AddLanguage", "args", min_args=2),
+        DirectiveSpec("AddHandler", "args", min_args=2),
+        DirectiveSpec("AddOutputFilter", "args", min_args=2),
+        DirectiveSpec("LanguagePriority", "freeform"),
+        DirectiveSpec("ForceLanguagePriority", "enum", choices=("Prefer", "Fallback", "Prefer Fallback")),
+        DirectiveSpec("AddCharset", "args", min_args=2),
+        # indexing / icons
+        DirectiveSpec("IndexOptions", "freeform"),
+        DirectiveSpec("AddIconByEncoding", "args", min_args=2),
+        DirectiveSpec("AddIconByType", "args", min_args=2),
+        DirectiveSpec("AddIcon", "args", min_args=2),
+        DirectiveSpec("DefaultIcon", "path"),
+        DirectiveSpec("ReadmeName", "freeform"),
+        DirectiveSpec("HeaderName", "freeform"),
+        DirectiveSpec("IndexIgnore", "freeform"),
+        # virtual hosts / misc
+        DirectiveSpec("NameVirtualHost", "freeform"),
+        DirectiveSpec("ErrorDocument", "args", min_args=2),
+        DirectiveSpec("BrowserMatch", "args", min_args=2),
+        DirectiveSpec("SetHandler", "freeform"),
+        DirectiveSpec("SetEnvIf", "args", min_args=3),
+        DirectiveSpec("RewriteEngine", "onoff"),
+        DirectiveSpec("ScriptSock", "path"),
+        DirectiveSpec("DavLockDB", "path"),
+    ]
+)
+
+
+#: Default ``httpd.conf``: a trimmed-down Apache 2.2 stock configuration with
+#: 98 active directives (matching the count the paper reports).
+DEFAULT_HTTPD_CONF = """\
+# Default Apache httpd configuration (modelled on the 2.2 stock httpd.conf)
+ServerTokens OS
+ServerRoot "/etc/httpd"
+PidFile run/httpd.pid
+Timeout 120
+KeepAlive Off
+MaxKeepAliveRequests 100
+KeepAliveTimeout 15
+
+<IfModule prefork.c>
+    StartServers 8
+    MinSpareServers 5
+    MaxSpareServers 20
+    ServerLimit 256
+    MaxClients 256
+    MaxRequestsPerChild 4000
+</IfModule>
+
+<IfModule worker.c>
+    StartServers 4
+    MaxClients 300
+    ThreadsPerChild 25
+    MaxRequestsPerChild 0
+</IfModule>
+
+Listen 80
+
+LoadModule auth_basic_module modules/mod_auth_basic.so
+LoadModule authn_file_module modules/mod_authn_file.so
+LoadModule authz_host_module modules/mod_authz_host.so
+LoadModule authz_user_module modules/mod_authz_user.so
+LoadModule log_config_module modules/mod_log_config.so
+LoadModule setenvif_module modules/mod_setenvif.so
+LoadModule mime_module modules/mod_mime.so
+LoadModule status_module modules/mod_status.so
+LoadModule autoindex_module modules/mod_autoindex.so
+LoadModule negotiation_module modules/mod_negotiation.so
+LoadModule dir_module modules/mod_dir.so
+LoadModule alias_module modules/mod_alias.so
+LoadModule cgi_module modules/mod_cgi.so
+
+User apache
+Group apache
+
+ServerAdmin root@localhost
+ServerName www.example.com:80
+UseCanonicalName Off
+DocumentRoot "/var/www/html"
+
+<Directory />
+    Options FollowSymLinks
+    AllowOverride None
+</Directory>
+
+<Directory "/var/www/html">
+    Options Indexes FollowSymLinks
+    AllowOverride None
+    Order allow,deny
+    Allow from all
+</Directory>
+
+DirectoryIndex index.html index.html.var
+AccessFileName .htaccess
+
+<Files ~ "^\\.ht">
+    Order allow,deny
+    Deny from all
+</Files>
+
+TypesConfig /etc/mime.types
+DefaultType text/plain
+
+<IfModule mod_mime_magic.c>
+    MIMEMagicFile conf/magic
+</IfModule>
+
+HostnameLookups Off
+ErrorLog logs/error_log
+LogLevel warn
+
+LogFormat "%h %l %u %t \\"%r\\" %>s %b \\"%{Referer}i\\" \\"%{User-Agent}i\\"" combined
+LogFormat "%h %l %u %t \\"%r\\" %>s %b" common
+LogFormat "%{Referer}i -> %U" referer
+LogFormat "%{User-agent}i" agent
+CustomLog logs/access_log combined
+
+ServerSignature On
+Alias /icons/ "/var/www/icons/"
+
+<Directory "/var/www/icons">
+    Options Indexes MultiViews
+    AllowOverride None
+    Order allow,deny
+    Allow from all
+</Directory>
+
+ScriptAlias /cgi-bin/ "/var/www/cgi-bin/"
+
+<Directory "/var/www/cgi-bin">
+    AllowOverride None
+    Options None
+    Order allow,deny
+    Allow from all
+</Directory>
+
+IndexOptions FancyIndexing VersionSort NameWidth=* HTMLTable
+AddIconByEncoding (CMP,/icons/compressed.gif) x-compress x-gzip
+AddIconByType (TXT,/icons/text.gif) text/*
+AddIconByType (IMG,/icons/image2.gif) image/*
+AddIcon /icons/binary.gif .bin .exe
+AddIcon /icons/compressed.gif .Z .z .tgz .gz .zip
+DefaultIcon /icons/unknown.gif
+ReadmeName README.html
+HeaderName HEADER.html
+IndexIgnore .??* *~ *# HEADER* README* RCS CVS *,v *,t
+
+AddLanguage en .en
+AddLanguage fr .fr
+LanguagePriority en fr de
+ForceLanguagePriority Prefer
+AddDefaultCharset UTF-8
+AddType application/x-compress .Z
+AddType application/x-gzip .gz .tgz
+AddType application/x-x509-ca-cert .crt
+AddHandler type-map var
+AddOutputFilter INCLUDES .shtml
+
+BrowserMatch "Mozilla/2" nokeepalive
+BrowserMatch "MSIE 4\\.0b2;" nokeepalive downgrade-1.0 force-response-1.0
+BrowserMatch "Java/1\\.0" force-response-1.0
+
+NameVirtualHost *:80
+
+<VirtualHost *:80>
+    ServerAdmin webmaster@example.com
+    DocumentRoot /var/www/html
+    ServerName www.example.com
+    ErrorLog logs/example-error_log
+    CustomLog logs/example-access_log common
+</VirtualHost>
+"""

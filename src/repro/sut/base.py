@@ -1,0 +1,100 @@
+"""Abstract interface every system under test implements."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["StartResult", "TestResult", "FunctionalTest", "SystemUnderTest"]
+
+
+@dataclass
+class StartResult:
+    """Outcome of trying to start the SUT with a set of configuration files.
+
+    ``started`` is False when the system refused to come up (typically
+    because it detected a configuration error); ``errors`` then carries the
+    diagnostics it produced.  ``warnings`` records complaints emitted by a
+    system that nevertheless started.
+    """
+
+    started: bool
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @classmethod
+    def ok(cls, warnings: Sequence[str] = ()) -> "StartResult":
+        """A successful start."""
+        return cls(started=True, warnings=list(warnings))
+
+    @classmethod
+    def failed(cls, *errors: str) -> "StartResult":
+        """A refused start with the given error messages."""
+        return cls(started=False, errors=list(errors))
+
+
+@dataclass
+class TestResult:
+    """Outcome of one functional (diagnosis) test."""
+
+    #: Tell pytest this is not a test class despite the name.
+    __test__ = False
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+class FunctionalTest(ABC):
+    """One diagnosis check run against a started SUT (paper Section 5.1).
+
+    Functional tests are deliberately simple -- "akin to what an
+    administrator might do to check that a system is OK".
+    """
+
+    #: Short identifier shown in resilience profiles.
+    name: str = "functional-test"
+
+    @abstractmethod
+    def run(self, sut: "SystemUnderTest") -> TestResult:
+        """Execute the check against ``sut`` and report pass/fail."""
+
+
+class SystemUnderTest(ABC):
+    """A system whose resilience to configuration errors is being measured.
+
+    The engine drives the SUT through a fixed lifecycle for every injection:
+    ``start(files)`` with the (possibly faulty) configuration files, then the
+    functional tests, then ``stop()``.
+    """
+
+    #: Human-readable system name used in profiles and reports.
+    name: str = "system"
+
+    @abstractmethod
+    def default_configuration(self) -> dict[str, str]:
+        """Initial configuration files: mapping of file name to file text."""
+
+    @abstractmethod
+    def dialect_for(self, filename: str) -> str:
+        """Name of the configuration dialect used to parse ``filename``."""
+
+    @abstractmethod
+    def start(self, files: Mapping[str, str]) -> StartResult:
+        """(Re)start the system with the given configuration files."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Stop the system and release its resources."""
+
+    @abstractmethod
+    def functional_tests(self) -> list[FunctionalTest]:
+        """The diagnosis suite run after a successful start."""
+
+    def is_running(self) -> bool:
+        """Whether the system is currently started (optional override)."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

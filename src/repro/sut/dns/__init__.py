@@ -1,0 +1,7 @@
+"""Simulated DNS servers: BIND and djbdns (tinydns)."""
+
+from repro.sut.dns.bind_server import SimulatedBIND
+from repro.sut.dns.djbdns_server import SimulatedDjbdns
+from repro.sut.dns.zonedata import config_set_to_records, records_from_files
+
+__all__ = ["SimulatedBIND", "SimulatedDjbdns", "config_set_to_records", "records_from_files"]

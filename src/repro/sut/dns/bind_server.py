@@ -1,0 +1,210 @@
+"""Simulated ISC BIND name server.
+
+The simulation loads ``named.conf`` plus the master zone files it references
+and enforces the zone-sanity checks BIND performs at load time, which are
+what makes it "effective in detecting errors of class (3) and (4)" in the
+paper's Table 3:
+
+* every zone must carry an SOA and at least one NS record at its apex,
+* a name that owns a CNAME record may not own records of any other type
+  ("duplicate name for NS and CNAME"),
+* MX and NS records may not point at aliases ("MX/NS points to a CNAME").
+
+Cross-zone relations (a host's PTR being missing, or pointing at an alias
+defined in another zone) are *not* checked, reproducing the "not found"
+entries of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.infoset import ConfigSet
+from repro.dns.names import normalize_name
+from repro.dns.records import DnsRecord, RecordSet
+from repro.dns.resolver import ResolutionError, Resolver
+from repro.errors import ParseError
+from repro.parsers.base import get_dialect
+from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest
+from repro.sut.dns.zonedata import config_set_to_records
+from repro.sut.functional import dns_suite
+
+__all__ = ["SimulatedBIND", "DEFAULT_NAMED_CONF", "DEFAULT_FORWARD_ZONE", "DEFAULT_REVERSE_ZONE"]
+
+
+DEFAULT_NAMED_CONF = """\
+options {
+    directory "/var/named";
+    recursion no;
+};
+
+zone "example.com" {
+    type master;
+    file "example.com.zone";
+};
+
+zone "2.0.192.in-addr.arpa" {
+    type master;
+    file "192.0.2.rev";
+};
+"""
+
+DEFAULT_FORWARD_ZONE = """\
+$TTL 86400
+$ORIGIN example.com.
+@\tIN\tSOA\tns1.example.com. hostmaster.example.com. 2008010101 3600 900 604800 86400
+@\tIN\tNS\tns1.example.com.
+@\tIN\tMX\t10 mail.example.com.
+@\tIN\tTXT\t"v=spf1 mx -all"
+ns1\tIN\tA\t192.0.2.1
+www\tIN\tA\t192.0.2.10
+mail\tIN\tA\t192.0.2.20
+shell\tIN\tA\t192.0.2.40
+www\tIN\tTXT\t"main web server"
+www\tIN\tRP\thostmaster.example.com. www.example.com.
+www\tIN\tHINFO\t"INTEL-X86" "LINUX"
+webmail\tIN\tCNAME\twww.example.com.
+ftp\tIN\tCNAME\twww.example.com.
+docs\tIN\tCNAME\twww.example.com.
+"""
+
+DEFAULT_REVERSE_ZONE = """\
+$TTL 86400
+$ORIGIN 2.0.192.in-addr.arpa.
+@\tIN\tSOA\tns1.example.com. hostmaster.example.com. 2008010101 3600 900 604800 86400
+@\tIN\tNS\tns1.example.com.
+1\tIN\tPTR\tns1.example.com.
+10\tIN\tPTR\twww.example.com.
+20\tIN\tPTR\tmail.example.com.
+40\tIN\tPTR\tshell.example.com.
+"""
+
+
+class SimulatedBIND(SystemUnderTest):
+    """Simulated BIND 9-style authoritative name server."""
+
+    name = "BIND"
+
+    def __init__(
+        self,
+        named_conf: str = DEFAULT_NAMED_CONF,
+        zone_files: Mapping[str, str] | None = None,
+    ):
+        self._named_conf = named_conf
+        self._zone_files = dict(zone_files) if zone_files is not None else {
+            "example.com.zone": DEFAULT_FORWARD_ZONE,
+            "192.0.2.rev": DEFAULT_REVERSE_ZONE,
+        }
+        self._records: RecordSet | None = None
+        self._resolver: Resolver | None = None
+        #: Zones declared in named.conf after the last successful start.
+        self.zones: dict[str, str] = {}
+
+    # --------------------------------------------------------------- interface
+    def default_configuration(self) -> dict[str, str]:
+        files = {"named.conf": self._named_conf}
+        files.update(self._zone_files)
+        return files
+
+    def dialect_for(self, filename: str) -> str:
+        return "namedconf" if filename == "named.conf" else "bindzone"
+
+    def functional_tests(self) -> list[FunctionalTest]:
+        return dns_suite("example.com", "2.0.192.in-addr.arpa")
+
+    def is_running(self) -> bool:
+        return self._resolver is not None
+
+    def stop(self) -> None:
+        self._records = None
+        self._resolver = None
+
+    # ------------------------------------------------------------------ start
+    def start(self, files: Mapping[str, str]) -> StartResult:
+        self.stop()
+        named_conf_text = files.get("named.conf")
+        if named_conf_text is None:
+            return StartResult.failed("named.conf is missing")
+        try:
+            named_conf = get_dialect("namedconf").parse(named_conf_text, filename="named.conf")
+        except ParseError as exc:
+            return StartResult.failed(f"named.conf parse failure: {exc}")
+
+        zones: dict[str, str] = {}
+        for section in named_conf.root.children_of_kind("section"):
+            if (section.name or "").lower() != "zone":
+                continue
+            zone_name = normalize_name((section.value or "").strip().strip('"'))
+            file_directive = section.child_named("file", kind="directive")
+            if file_directive is None or not file_directive.value:
+                return StartResult.failed(f"zone '{zone_name}': no file directive")
+            zones[zone_name] = file_directive.value.strip().strip('"')
+
+        if not zones:
+            return StartResult.failed("named.conf declares no zones")
+
+        config_set = ConfigSet()
+        for zone_name, zone_file in zones.items():
+            text = files.get(zone_file)
+            if text is None:
+                return StartResult.failed(f"zone '{zone_name}': file {zone_file!r} not found")
+            try:
+                config_set.add(get_dialect("bindzone").parse(text, filename=zone_file))
+            except ParseError as exc:
+                return StartResult.failed(f"zone '{zone_name}': {exc}")
+
+        records = config_set_to_records(config_set)
+        errors = self.check_zones(zones, records)
+        if errors:
+            return StartResult.failed(*errors)
+
+        self._records = records
+        self._resolver = Resolver(records)
+        self.zones = zones
+        return StartResult.ok()
+
+    # ------------------------------------------------------------- zone checks
+    @staticmethod
+    def check_zones(zones: Mapping[str, str], records: RecordSet) -> list[str]:
+        """BIND-style zone sanity checks; returns the list of fatal problems."""
+        errors: list[str] = []
+        for zone_name in zones:
+            if not records.records(zone_name, "SOA"):
+                errors.append(f"zone {zone_name}/IN: has no SOA record")
+            if not records.records(zone_name, "NS"):
+                errors.append(f"zone {zone_name}/IN: has no NS records")
+
+        # CNAME exclusivity: an alias owner may not have records of other types.
+        for owner in records.names():
+            owner_records = records.records(owner)
+            if any(record.rtype == "CNAME" for record in owner_records) and any(
+                record.rtype != "CNAME" for record in owner_records
+            ):
+                other = sorted({r.rtype for r in owner_records if r.rtype != "CNAME"})
+                errors.append(
+                    f"zone: {owner}: CNAME and other data ({', '.join(other)})"
+                )
+
+        # MX / NS targets must not be aliases.
+        alias_owners = {record.name for record in records if record.rtype == "CNAME"}
+        for record in records:
+            if record.rtype in ("MX", "NS") and record.value in alias_owners:
+                errors.append(
+                    f"zone: {record.name}/{record.rtype} '{record.value}' is a CNAME (illegal)"
+                )
+        return errors
+
+    # --------------------------------------------------------------- behaviour
+    def query(self, name: str, rtype: str) -> list[DnsRecord]:
+        """Answer a query against the loaded zones (empty list when unanswerable)."""
+        if self._resolver is None:
+            raise RuntimeError("named is not running")
+        try:
+            return list(self._resolver.resolve(name, rtype).records)
+        except ResolutionError:
+            return []
+
+    @property
+    def records(self) -> RecordSet:
+        """Records currently served (empty set when not running)."""
+        return self._records if self._records is not None else RecordSet()

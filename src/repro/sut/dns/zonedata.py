@@ -1,0 +1,47 @@
+"""Helpers turning parsed DNS configuration files into :class:`DnsRecord` sets.
+
+Both simulated servers load their record data through the same
+system-independent record view used by the semantic-error plugin
+(:class:`~repro.core.views.dns_view.DnsRecordView`), which keeps the
+"published records" interpretation consistent between injection and serving.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.infoset import ConfigSet
+from repro.core.views.dns_view import DnsRecordView, VIEW_TREE_NAME
+from repro.dns.records import DnsRecord, RecordSet
+from repro.parsers.base import get_dialect
+
+__all__ = ["config_set_to_records", "records_from_files"]
+
+
+def config_set_to_records(config_set: ConfigSet) -> RecordSet:
+    """Convert parsed zone/data file trees into a :class:`RecordSet`."""
+    view = DnsRecordView().transform(config_set)
+    record_set = RecordSet()
+    for node in view.get(VIEW_TREE_NAME).root.children_of_kind("dns-record"):
+        priority = node.get("priority")
+        ttl = node.get("ttl")
+        record_set.add(
+            DnsRecord(
+                name=node.name or "",
+                rtype=node.get("rtype", "A"),
+                value=node.value or "",
+                priority=int(priority) if priority is not None else None,
+                ttl=int(ttl) if ttl not in (None, "") else None,
+                metadata={"source_file": node.get("source_file")},
+            )
+        )
+    return record_set
+
+
+def records_from_files(files: Mapping[str, str], dialect_by_file: Mapping[str, str]) -> RecordSet:
+    """Parse raw file texts (with per-file dialects) and collect their records."""
+    config_set = ConfigSet()
+    for filename, text in files.items():
+        dialect_name = dialect_by_file[filename]
+        config_set.add(get_dialect(dialect_name).parse(text, filename=filename))
+    return config_set_to_records(config_set)

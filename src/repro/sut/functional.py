@@ -1,0 +1,128 @@
+"""Functional (diagnosis) test suites.
+
+The tests mirror the paper's Section 5.1 scripts:
+
+* databases: create a database, create a table, populate it, query it;
+* web server: perform an HTTP GET and check a page comes back;
+* DNS servers: check the server answers for both the forward and the
+  reverse zone.
+
+Each suite is written against a small protocol the corresponding simulated
+SUT implements (``connect()``, ``http_get()``, ``query()``), so the same
+suite also works for any other SUT exposing that protocol.
+"""
+
+from __future__ import annotations
+
+from repro.sut.base import FunctionalTest, SystemUnderTest, TestResult
+
+__all__ = [
+    "DatabaseSmokeTest",
+    "HttpGetTest",
+    "DnsZoneServiceTest",
+    "database_suite",
+    "web_suite",
+    "dns_suite",
+]
+
+
+class DatabaseSmokeTest(FunctionalTest):
+    """Create a database and a table, insert rows and read them back."""
+
+    name = "db-create-insert-query"
+
+    def __init__(self, database: str = "conferr_check", rows: int = 3):
+        self.database = database
+        self.rows = rows
+
+    def run(self, sut: SystemUnderTest) -> TestResult:
+        try:
+            connection = sut.connect()  # type: ignore[attr-defined]
+        except Exception as exc:
+            return TestResult(self.name, False, f"could not connect: {exc}")
+        try:
+            connection.execute(f"DROP DATABASE {self.database}")
+            connection.execute(f"CREATE DATABASE {self.database}")
+            connection.execute("CREATE TABLE items (id INT, label TEXT)")
+            for index in range(self.rows):
+                connection.execute(f"INSERT INTO items VALUES ({index}, 'row-{index}')")
+            rows = connection.execute("SELECT * FROM items")
+            if len(rows) != self.rows:
+                return TestResult(
+                    self.name, False, f"expected {self.rows} rows, got {len(rows)}"
+                )
+            filtered = connection.execute("SELECT label FROM items WHERE id = 1")
+            if filtered != [("row-1",)]:
+                return TestResult(self.name, False, f"unexpected query result: {filtered!r}")
+            return TestResult(self.name, True)
+        except Exception as exc:
+            return TestResult(self.name, False, str(exc))
+        finally:
+            try:
+                connection.close()
+            except Exception:
+                pass
+
+
+class HttpGetTest(FunctionalTest):
+    """Download a page from the web server (paper: one HTTP GET)."""
+
+    name = "http-get"
+
+    def __init__(self, path: str = "/index.html", port: int = 80, host: str = "localhost"):
+        self.path = path
+        self.port = port
+        self.host = host
+
+    def run(self, sut: SystemUnderTest) -> TestResult:
+        try:
+            status, body = sut.http_get(self.path, port=self.port, host=self.host)  # type: ignore[attr-defined]
+        except Exception as exc:
+            return TestResult(self.name, False, f"request failed: {exc}")
+        if status != 200:
+            return TestResult(self.name, False, f"HTTP {status} for {self.path}")
+        if not body:
+            return TestResult(self.name, False, "empty response body")
+        return TestResult(self.name, True)
+
+
+class DnsZoneServiceTest(FunctionalTest):
+    """Check the server answers for a zone apex (forward or reverse).
+
+    The paper's DNS diagnosis script "checks that the server is answering to
+    requests both for the forward and the reverse zone"; it probes zone-level
+    service, not every individual record, so record-level semantic faults can
+    legitimately go unnoticed (Table 3 "not found").
+    """
+
+    def __init__(self, zone: str, record_type: str = "SOA", label: str | None = None):
+        self.zone = zone
+        self.record_type = record_type
+        self.name = label or f"dns-{record_type.lower()}-{zone}"
+
+    def run(self, sut: SystemUnderTest) -> TestResult:
+        try:
+            answers = sut.query(self.zone, self.record_type)  # type: ignore[attr-defined]
+        except Exception as exc:
+            return TestResult(self.name, False, f"query failed: {exc}")
+        if not answers:
+            return TestResult(self.name, False, f"no {self.record_type} records for {self.zone}")
+        return TestResult(self.name, True)
+
+
+def database_suite() -> list[FunctionalTest]:
+    """The paper's database diagnosis script."""
+    return [DatabaseSmokeTest()]
+
+
+def web_suite(port: int = 80) -> list[FunctionalTest]:
+    """The paper's web-server diagnosis script."""
+    return [HttpGetTest(port=port)]
+
+
+def dns_suite(forward_zone: str, reverse_zone: str) -> list[FunctionalTest]:
+    """The paper's DNS diagnosis script: forward and reverse zone service."""
+    return [
+        DnsZoneServiceTest(forward_zone, "SOA", label="dns-forward-zone"),
+        DnsZoneServiceTest(reverse_zone, "SOA", label="dns-reverse-zone"),
+    ]

@@ -1,0 +1,6 @@
+"""Simulated MySQL 5.1-style database server."""
+
+from repro.sut.mysql.options import MYSQLD_OPTIONS, DEFAULT_MY_CNF, AUXILIARY_SECTIONS
+from repro.sut.mysql.server import SimulatedMySQL
+
+__all__ = ["SimulatedMySQL", "MYSQLD_OPTIONS", "DEFAULT_MY_CNF", "AUXILIARY_SECTIONS"]

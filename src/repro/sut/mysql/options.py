@@ -1,0 +1,147 @@
+"""Option table and default configuration of the simulated MySQL server.
+
+The option set follows the MySQL 5.1 server the paper tested: the default
+``my.cnf`` carries 14 directives in the ``[mysqld]`` section (paper
+Section 5.1) plus the auxiliary-tool sections (``[client]``, ``[mysqldump]``,
+``[mysql]``, ``[myisamchk]``, ``[mysqlhotcopy]``) that share the same file --
+the sharing is what makes undetected errors in those sections dangerous
+(paper Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.sut.options import OptionSpec, OptionTable
+
+__all__ = [
+    "MYSQLD_OPTIONS",
+    "CLIENT_OPTIONS",
+    "AUXILIARY_SECTIONS",
+    "DEFAULT_MY_CNF",
+    "DEFAULT_MY_CNF_SERVER_ONLY",
+]
+
+_SIZE_MAX = 4 * 1024**3
+
+#: Options accepted in the ``[mysqld]`` section.
+MYSQLD_OPTIONS = OptionTable(
+    [
+        OptionSpec("port", "int", default="3306", minimum=0, maximum=65535, section="mysqld"),
+        OptionSpec("socket", "path", default="/tmp/mysql.sock", section="mysqld"),
+        OptionSpec("basedir", "path", default="/usr", section="mysqld"),
+        OptionSpec("datadir", "path", default="/var/lib/mysql", section="mysqld"),
+        OptionSpec("bind-address", "string", default="127.0.0.1", section="mysqld"),
+        OptionSpec("server-id", "int", default="1", minimum=0, maximum=2**32 - 1, section="mysqld"),
+        OptionSpec("skip-external-locking", "bool", flag=True, section="mysqld"),
+        OptionSpec("skip-networking", "bool", flag=True, section="mysqld"),
+        OptionSpec(
+            "key_buffer_size", "size", default="16M", minimum=8, maximum=_SIZE_MAX, section="mysqld",
+            description="minimum legal value is 8 bytes; smaller values are silently raised",
+        ),
+        OptionSpec("max_allowed_packet", "size", default="1M", minimum=1024, maximum=1024**3, section="mysqld"),
+        OptionSpec("table_open_cache", "int", default="64", minimum=1, maximum=524288, section="mysqld"),
+        OptionSpec("sort_buffer_size", "size", default="512K", minimum=32 * 1024, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("net_buffer_length", "size", default="8K", minimum=1024, maximum=1024**2, section="mysqld"),
+        OptionSpec("read_buffer_size", "size", default="256K", minimum=8192, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("read_rnd_buffer_size", "size", default="512K", minimum=8192, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("myisam_sort_buffer_size", "size", default="8M", minimum=4096, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("thread_stack", "size", default="192K", minimum=128 * 1024, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("thread_cache_size", "int", default="8", minimum=0, maximum=16384, section="mysqld"),
+        OptionSpec("max_connections", "int", default="100", minimum=1, maximum=100000, section="mysqld"),
+        OptionSpec("query_cache_size", "size", default="16M", minimum=0, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("tmpdir", "path", default="/tmp", section="mysqld"),
+        OptionSpec("language", "path", default="/usr/share/mysql/english", section="mysqld"),
+        OptionSpec(
+            "default-storage-engine", "enum", default="MyISAM",
+            choices=("MyISAM", "InnoDB", "MEMORY", "CSV", "ARCHIVE"), section="mysqld",
+        ),
+        OptionSpec(
+            "sql-mode", "string", default="", section="mysqld",
+            description="comma separated list of SQL modes; unknown modes are rejected",
+        ),
+        OptionSpec("log-bin", "string", default="mysql-bin", section="mysqld"),
+        OptionSpec("binlog_format", "enum", default="STATEMENT", choices=("STATEMENT", "ROW", "MIXED"), section="mysqld"),
+        OptionSpec("innodb_buffer_pool_size", "size", default="8M", minimum=1024**2, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("innodb_log_file_size", "size", default="5M", minimum=1024**2, maximum=_SIZE_MAX, section="mysqld"),
+        OptionSpec("low-priority-updates", "bool", flag=True, section="mysqld"),
+        OptionSpec("old_passwords", "bool", default="0", section="mysqld"),
+    ]
+)
+
+#: Options accepted in the ``[client]`` section.
+CLIENT_OPTIONS = OptionTable(
+    [
+        OptionSpec("port", "int", default="3306", minimum=0, maximum=65535, section="client"),
+        OptionSpec("socket", "path", default="/tmp/mysql.sock", section="client"),
+        OptionSpec("host", "string", default="localhost", section="client"),
+        OptionSpec("user", "string", default="root", section="client"),
+        OptionSpec("password", "string", default="", section="client"),
+    ]
+)
+
+#: Sections of the shared option file that the *server* does not parse at
+#: startup (paper Section 5.2: errors there surface only when the auxiliary
+#: tool runs, possibly from an unattended cron job).
+AUXILIARY_SECTIONS = ("client", "mysql", "mysqldump", "myisamchk", "mysqlhotcopy", "mysqld_safe")
+
+#: Default ``my.cnf`` shipped with the simulated server: 14 directives in the
+#: ``[mysqld]`` section, mirroring the count the paper reports.
+DEFAULT_MY_CNF = """\
+# Default MySQL option file (modelled on the 5.1 my-medium.cnf template)
+[client]
+port = 3306
+socket = /tmp/mysql.sock
+
+[mysqld]
+port = 3306
+socket = /tmp/mysql.sock
+datadir = /var/lib/mysql
+skip-external-locking
+key_buffer_size = 16M
+max_allowed_packet = 1M
+table_open_cache = 64
+sort_buffer_size = 512K
+net_buffer_length = 8K
+read_buffer_size = 256K
+read_rnd_buffer_size = 512K
+myisam_sort_buffer_size = 8M
+thread_cache_size = 8
+max_connections = 100
+
+[mysqldump]
+quick
+max_allowed_packet = 16M
+
+[mysql]
+no-auto-rehash
+
+[myisamchk]
+key_buffer_size = 20M
+sort_buffer_size = 20M
+
+[mysqlhotcopy]
+interactive-timeout
+"""
+
+#: The same configuration restricted to the server's own group.  The paper
+#: counts 14 directives for MySQL's default configuration; the Table 1
+#: benchmark injects errors into exactly those, so this variant is what the
+#: typo-resilience experiments use (the shared-file sections are exercised
+#: separately, to demonstrate the latent-error flaw).
+DEFAULT_MY_CNF_SERVER_ONLY = """\
+# Default MySQL option file, server group only
+[mysqld]
+port = 3306
+socket = /tmp/mysql.sock
+datadir = /var/lib/mysql
+skip-external-locking
+key_buffer_size = 16M
+max_allowed_packet = 1M
+table_open_cache = 64
+sort_buffer_size = 512K
+net_buffer_length = 8K
+read_buffer_size = 256K
+read_rnd_buffer_size = 512K
+myisam_sort_buffer_size = 8M
+thread_cache_size = 8
+max_connections = 100
+"""

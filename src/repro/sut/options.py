@@ -1,0 +1,95 @@
+"""Typed option specifications shared by the simulated database servers.
+
+Both simulated servers are driven by declarative tables of
+:class:`OptionSpec` entries describing each configuration parameter: its
+value kind, default, admissible range and (for MySQL) the section it lives
+in.  The per-system value-parsing *semantics* -- which is where the paper's
+findings about detection strength come from -- live with each server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["OptionSpec", "OptionTable"]
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """One configuration parameter of a simulated server.
+
+    ``kind`` is one of ``"int"`` (plain integer), ``"size"`` (integer with an
+    optional unit/multiplier suffix), ``"real"``, ``"bool"``, ``"enum"``,
+    ``"string"`` and ``"path"``; ``flag`` options take no value at all.
+    """
+
+    name: str
+    kind: str
+    default: str | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+    choices: tuple[str, ...] = ()
+    section: str | None = None
+    description: str = ""
+    flag: bool = False
+
+    def canonical_name(self) -> str:
+        """Lower-case name with ``-`` folded to ``_`` (MySQL-style aliasing)."""
+        return self.name.lower().replace("-", "_")
+
+
+class OptionTable:
+    """Lookup structure over a collection of :class:`OptionSpec`."""
+
+    def __init__(self, options: Sequence[OptionSpec]):
+        self._options = list(options)
+        self._by_name = {spec.canonical_name(): spec for spec in self._options}
+
+    def __iter__(self):
+        return iter(self._options)
+
+    def __len__(self) -> int:
+        return len(self._options)
+
+    def names(self) -> list[str]:
+        """Canonical option names."""
+        return list(self._by_name)
+
+    def get(self, name: str) -> OptionSpec | None:
+        """Exact lookup by canonical name (case-insensitive, ``-``/``_`` folded)."""
+        return self._by_name.get(name.lower().replace("-", "_"))
+
+    def get_case_sensitive(self, name: str) -> OptionSpec | None:
+        """Lookup that requires the exact lower-case spelling (no case folding).
+
+        Used by the simulated MySQL, whose option parser does not accept
+        mixed-case directive names (paper Table 2).
+        """
+        folded = name.replace("-", "_")
+        spec = self._by_name.get(folded.lower())
+        if spec is None:
+            return None
+        return spec if folded == folded.lower() else None
+
+    def match_prefix(self, prefix: str) -> list[OptionSpec]:
+        """Options whose canonical name starts with ``prefix`` (canonicalised)."""
+        canonical = prefix.lower().replace("-", "_")
+        return [spec for spec in self._options if spec.canonical_name().startswith(canonical)]
+
+    def resolve(self, name: str, allow_prefix: bool = False, case_sensitive: bool = False) -> OptionSpec | None:
+        """Resolve a directive name to a spec.
+
+        ``allow_prefix`` enables MySQL-style unambiguous-prefix matching;
+        ``case_sensitive`` rejects names containing upper-case letters.
+        """
+        if case_sensitive and name != name.lower():
+            return None
+        exact = self.get(name)
+        if exact is not None:
+            return exact
+        if allow_prefix:
+            matches = self.match_prefix(name)
+            if len(matches) == 1:
+                return matches[0]
+        return None

@@ -1,0 +1,6 @@
+"""Simulated PostgreSQL 8.2-style database server."""
+
+from repro.sut.postgres.options import DEFAULT_POSTGRESQL_CONF, POSTGRES_OPTIONS, CROSS_CONSTRAINTS
+from repro.sut.postgres.server import SimulatedPostgres
+
+__all__ = ["SimulatedPostgres", "POSTGRES_OPTIONS", "DEFAULT_POSTGRESQL_CONF", "CROSS_CONSTRAINTS"]

@@ -1,0 +1,111 @@
+"""Option table, cross-directive constraints and default configuration of the
+simulated PostgreSQL server.
+
+The default ``postgresql.conf`` carries 8 active directives, matching the
+count the paper reports for Postgres 8.2 (Section 5.1).  The option table
+covers the parameters exercised by the benchmarks (Section 5.5 configures
+"most of the available directives" from this table).
+
+Postgres' distinguishing behaviour -- and the reason it scores so well in the
+paper's comparison -- is strict validation: unknown parameters, malformed
+numbers, out-of-range values and violated cross-parameter constraints all
+abort startup with an explanatory message (Section 5.2's ``max_fsm_pages``
+example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sut.options import OptionSpec, OptionTable
+
+__all__ = ["POSTGRES_OPTIONS", "CROSS_CONSTRAINTS", "DEFAULT_POSTGRESQL_CONF", "CrossConstraint"]
+
+
+POSTGRES_OPTIONS = OptionTable(
+    [
+        OptionSpec("listen_addresses", "string", default="localhost"),
+        OptionSpec("port", "int", default="5432", minimum=1, maximum=65535),
+        OptionSpec("max_connections", "int", default="100", minimum=1, maximum=10000),
+        OptionSpec("superuser_reserved_connections", "int", default="3", minimum=0, maximum=10000),
+        OptionSpec("shared_buffers", "size", default="32MB", minimum=16, maximum=1024**3),
+        OptionSpec("temp_buffers", "size", default="8MB", minimum=100, maximum=1024**3),
+        OptionSpec("work_mem", "size", default="1MB", minimum=64, maximum=1024**3),
+        OptionSpec("maintenance_work_mem", "size", default="16MB", minimum=1024, maximum=1024**3),
+        OptionSpec("max_fsm_pages", "int", default="153600", minimum=1000, maximum=2**31 - 1),
+        OptionSpec("max_fsm_relations", "int", default="1000", minimum=100, maximum=2**31 - 1),
+        OptionSpec("max_files_per_process", "int", default="1000", minimum=25, maximum=2**31 - 1),
+        OptionSpec("shared_preload_libraries", "string", default=""),
+        OptionSpec("fsync", "bool", default="on"),
+        OptionSpec("synchronous_commit", "bool", default="on"),
+        OptionSpec("wal_buffers", "size", default="64kB", minimum=4, maximum=1024**2),
+        OptionSpec("checkpoint_segments", "int", default="3", minimum=1, maximum=1000),
+        OptionSpec("checkpoint_timeout", "time", default="5min", minimum=30, maximum=3600),
+        OptionSpec("effective_cache_size", "size", default="128MB", minimum=8, maximum=1024**3),
+        OptionSpec("random_page_cost", "real", default="4.0", minimum=0.0, maximum=10000.0),
+        OptionSpec("cpu_tuple_cost", "real", default="0.01", minimum=0.0, maximum=10000.0),
+        OptionSpec("log_destination", "enum", default="stderr", choices=("stderr", "syslog", "csvlog")),
+        OptionSpec("logging_collector", "bool", default="off"),
+        OptionSpec("log_min_messages", "enum", default="notice",
+                   choices=("debug", "info", "notice", "warning", "error", "log", "fatal", "panic")),
+        OptionSpec("log_line_prefix", "string", default=""),
+        OptionSpec("autovacuum", "bool", default="on"),
+        OptionSpec("autovacuum_naptime", "time", default="1min", minimum=1, maximum=2147483),
+        OptionSpec("datestyle", "string", default="iso, mdy"),
+        OptionSpec("timezone", "string", default="UTC"),
+        OptionSpec("lc_messages", "string", default="C"),
+        OptionSpec("lc_monetary", "string", default="C"),
+        OptionSpec("lc_numeric", "string", default="C"),
+        OptionSpec("lc_time", "string", default="C"),
+        OptionSpec("default_text_search_config", "string", default="pg_catalog.simple"),
+        OptionSpec("deadlock_timeout", "time", default="1s", minimum=1, maximum=2147483647),
+        OptionSpec("statement_timeout", "int", default="0", minimum=0, maximum=2147483647),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class CrossConstraint:
+    """A relation between two parameters enforced at startup."""
+
+    name: str
+    parameter: str
+    related: str
+    check: Callable[[float, float], bool]
+    message: str
+
+
+#: Cross-directive constraints (Section 5.2: ``max_fsm_pages`` must be at
+#: least 16 x ``max_fsm_relations``; connection slots must leave room for the
+#: superuser-reserved ones).
+CROSS_CONSTRAINTS = (
+    CrossConstraint(
+        name="fsm-pages-vs-relations",
+        parameter="max_fsm_pages",
+        related="max_fsm_relations",
+        check=lambda pages, relations: pages >= 16 * relations,
+        message="max_fsm_pages must be at least 16 * max_fsm_relations",
+    ),
+    CrossConstraint(
+        name="reserved-connections",
+        parameter="superuser_reserved_connections",
+        related="max_connections",
+        check=lambda reserved, max_connections: reserved < max_connections,
+        message="superuser_reserved_connections must be less than max_connections",
+    ),
+)
+
+
+#: Default configuration: the 8 directives enabled out of the box in 8.2.
+DEFAULT_POSTGRESQL_CONF = """\
+# PostgreSQL configuration file (default, modelled on the 8.2 sample)
+max_connections = 100
+shared_buffers = 32MB
+max_fsm_pages = 153600
+datestyle = 'iso, mdy'
+lc_messages = 'C'
+lc_monetary = 'C'
+lc_numeric = 'C'
+lc_time = 'C'
+"""

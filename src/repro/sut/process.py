@@ -1,0 +1,129 @@
+"""Generic subprocess-driven system under test.
+
+This driver lets ConfErr test a *real* system exactly as the paper does:
+the user supplies the initial configuration files, the dialect of each file
+and three shell commands (start, stop, and one command per functional
+check).  Faulty configurations are written to a workspace directory and the
+commands are run with the environment variable ``CONFERR_WORKSPACE``
+pointing at it; a non-zero exit status from the start command counts as
+"detected at startup", a non-zero status from a check command as "detected
+by the functional tests".
+
+The simulated SUTs are used throughout the bundled benchmarks (no external
+daemons are available in the test environment), but this driver is the
+bridge to real deployments.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest, TestResult
+from repro.sut.workspace import Workspace
+
+__all__ = ["CommandSpec", "ProcessSUT"]
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One shell command run as part of the SUT lifecycle."""
+
+    name: str
+    argv: tuple[str, ...]
+    timeout_seconds: float = 30.0
+
+
+@dataclass
+class _CommandTest(FunctionalTest):
+    command: CommandSpec
+    workspace: Workspace
+    environment: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.name = self.command.name
+
+    def run(self, sut: SystemUnderTest) -> TestResult:
+        completed = _run(self.command, self.workspace, self.environment)
+        detail = (completed.stdout + completed.stderr).strip()
+        return TestResult(self.name, completed.returncode == 0, detail)
+
+
+def _run(command: CommandSpec, workspace: Workspace, environment: Mapping[str, str]):
+    env = dict(os.environ)
+    env.update(environment)
+    env["CONFERR_WORKSPACE"] = str(workspace.root)
+    try:
+        return subprocess.run(
+            list(command.argv),
+            capture_output=True,
+            text=True,
+            timeout=command.timeout_seconds,
+            env=env,
+            cwd=str(workspace.root),
+        )
+    except subprocess.TimeoutExpired as exc:
+        return subprocess.CompletedProcess(command.argv, returncode=124, stdout="", stderr=str(exc))
+    except OSError as exc:
+        return subprocess.CompletedProcess(command.argv, returncode=127, stdout="", stderr=str(exc))
+
+
+class ProcessSUT(SystemUnderTest):
+    """Drive an external system through start/stop/check shell commands."""
+
+    def __init__(
+        self,
+        name: str,
+        config_files: Mapping[str, str],
+        dialects: Mapping[str, str],
+        start_command: CommandSpec,
+        stop_command: CommandSpec,
+        check_commands: Sequence[CommandSpec] = (),
+        environment: Mapping[str, str] | None = None,
+        workspace: Workspace | None = None,
+    ):
+        self.name = name
+        self._config_files = dict(config_files)
+        self._dialects = dict(dialects)
+        self._start_command = start_command
+        self._stop_command = stop_command
+        self._check_commands = list(check_commands)
+        self._environment = dict(environment or {})
+        self.workspace = workspace or Workspace()
+        self._running = False
+
+    # --------------------------------------------------------------- interface
+    def default_configuration(self) -> dict[str, str]:
+        return dict(self._config_files)
+
+    def dialect_for(self, filename: str) -> str:
+        return self._dialects[filename]
+
+    def functional_tests(self) -> list[FunctionalTest]:
+        return [
+            _CommandTest(command, self.workspace, self._environment)
+            for command in self._check_commands
+        ]
+
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self, files: Mapping[str, str]) -> StartResult:
+        self.workspace.deploy(files)
+        completed = _run(self._start_command, self.workspace, self._environment)
+        if completed.returncode != 0:
+            detail = (completed.stdout + completed.stderr).strip()
+            return StartResult.failed(detail or f"start command exited with {completed.returncode}")
+        self._running = True
+        return StartResult.ok()
+
+    def stop(self) -> None:
+        if self._running:
+            _run(self._stop_command, self.workspace, self._environment)
+        self._running = False
+
+    def cleanup(self) -> None:
+        """Remove the workspace directory."""
+        self.workspace.cleanup()

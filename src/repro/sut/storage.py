@@ -1,0 +1,218 @@
+"""A miniature in-memory SQL-ish storage engine.
+
+The paper's database diagnosis script "creates a database, then creates a
+table, populates it, and queries it" (Section 5.1).  The simulated MySQL and
+Postgres servers expose this engine through their client interface so the
+same functional suite can run against both.
+
+The engine intentionally implements only what the diagnosis script needs:
+``CREATE DATABASE``, ``CREATE TABLE``, ``INSERT`` and ``SELECT`` with an
+optional ``WHERE column = value`` filter, plus connection admission control
+(the server's effective ``max_connections`` is enforced, so configurations
+that cripple connection limits are caught by the functional tests).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SUTError
+
+__all__ = ["MiniSqlEngine", "SqlError", "Connection"]
+
+
+class SqlError(SUTError):
+    """A statement could not be executed."""
+
+
+@dataclass
+class _Table:
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+
+
+_CREATE_DB_RE = re.compile(r"^\s*CREATE\s+DATABASE\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+_CREATE_TABLE_RE = re.compile(
+    r"^\s*CREATE\s+TABLE\s+(?P<name>\w+)\s*\((?P<columns>[^)]*)\)\s*;?\s*$", re.IGNORECASE
+)
+_INSERT_RE = re.compile(
+    r"^\s*INSERT\s+INTO\s+(?P<name>\w+)\s+VALUES\s*\((?P<values>[^)]*)\)\s*;?\s*$", re.IGNORECASE
+)
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<columns>\*|[\w,\s]+)\s+FROM\s+(?P<name>\w+)"
+    r"(?:\s+WHERE\s+(?P<where_col>\w+)\s*=\s*(?P<where_val>[^;]+))?\s*;?\s*$",
+    re.IGNORECASE,
+)
+_DROP_DB_RE = re.compile(r"^\s*DROP\s+DATABASE\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+
+
+def _parse_literal(text: str):
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+class Connection:
+    """One client connection to the engine."""
+
+    def __init__(self, engine: "MiniSqlEngine"):
+        self._engine = engine
+        self._closed = False
+
+    def execute(self, statement: str):
+        """Execute one SQL statement; returns rows for SELECT, None otherwise."""
+        if self._closed:
+            raise SqlError("connection is closed")
+        return self._engine.execute(statement)
+
+    def close(self) -> None:
+        """Release the connection slot."""
+        if not self._closed:
+            self._closed = True
+            self._engine.release_connection()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MiniSqlEngine:
+    """Dictionary-backed storage with a tiny SQL front-end."""
+
+    def __init__(self, max_connections: int = 100):
+        self.max_connections = max_connections
+        self._databases: dict[str, dict[str, _Table]] = {}
+        self._current_db: str | None = None
+        self._open_connections = 0
+
+    # ----------------------------------------------------------- connections
+    def connect(self) -> Connection:
+        """Open a client connection (fails when the admission limit is reached)."""
+        if self._open_connections >= max(0, self.max_connections):
+            raise SqlError(
+                f"too many connections (max_connections={self.max_connections})"
+            )
+        self._open_connections += 1
+        return Connection(self)
+
+    def release_connection(self) -> None:
+        """Return a connection slot (called by :meth:`Connection.close`)."""
+        self._open_connections = max(0, self._open_connections - 1)
+
+    @property
+    def open_connections(self) -> int:
+        """Number of currently open connections."""
+        return self._open_connections
+
+    # ------------------------------------------------------------ statements
+    def execute(self, statement: str):
+        """Dispatch one statement; raises :class:`SqlError` on failure."""
+        for pattern, handler in (
+            (_CREATE_DB_RE, self._create_database),
+            (_CREATE_TABLE_RE, self._create_table),
+            (_INSERT_RE, self._insert),
+            (_SELECT_RE, self._select),
+            (_DROP_DB_RE, self._drop_database),
+        ):
+            match = pattern.match(statement)
+            if match:
+                return handler(match)
+        use_match = re.match(r"^\s*USE\s+(?P<name>\w+)\s*;?\s*$", statement, re.IGNORECASE)
+        if use_match:
+            return self._use(use_match)
+        raise SqlError(f"unsupported statement: {statement!r}")
+
+    # handlers ---------------------------------------------------------------
+    def _create_database(self, match: re.Match):
+        name = match.group("name").lower()
+        if name in self._databases:
+            raise SqlError(f"database {name!r} already exists")
+        self._databases[name] = {}
+        self._current_db = name
+        return None
+
+    def _drop_database(self, match: re.Match):
+        name = match.group("name").lower()
+        self._databases.pop(name, None)
+        if self._current_db == name:
+            self._current_db = None
+        return None
+
+    def _use(self, match: re.Match):
+        name = match.group("name").lower()
+        if name not in self._databases:
+            raise SqlError(f"unknown database {name!r}")
+        self._current_db = name
+        return None
+
+    def _require_db(self) -> dict[str, _Table]:
+        if self._current_db is None:
+            raise SqlError("no database selected")
+        return self._databases[self._current_db]
+
+    def _create_table(self, match: re.Match):
+        database = self._require_db()
+        name = match.group("name").lower()
+        if name in database:
+            raise SqlError(f"table {name!r} already exists")
+        columns = [column.strip().split()[0] for column in match.group("columns").split(",") if column.strip()]
+        if not columns:
+            raise SqlError("a table needs at least one column")
+        database[name] = _Table(columns=columns)
+        return None
+
+    def _insert(self, match: re.Match):
+        database = self._require_db()
+        name = match.group("name").lower()
+        if name not in database:
+            raise SqlError(f"unknown table {name!r}")
+        table = database[name]
+        values = [_parse_literal(value) for value in match.group("values").split(",")]
+        if len(values) != len(table.columns):
+            raise SqlError(
+                f"column count mismatch: table {name!r} has {len(table.columns)} columns"
+            )
+        table.rows.append(tuple(values))
+        return None
+
+    def _select(self, match: re.Match):
+        database = self._require_db()
+        name = match.group("name").lower()
+        if name not in database:
+            raise SqlError(f"unknown table {name!r}")
+        table = database[name]
+        requested = match.group("columns").strip()
+        if requested == "*":
+            column_indices = list(range(len(table.columns)))
+        else:
+            wanted = [column.strip() for column in requested.split(",")]
+            try:
+                column_indices = [table.columns.index(column) for column in wanted]
+            except ValueError as exc:
+                raise SqlError(f"unknown column in SELECT: {exc}") from exc
+        rows = table.rows
+        if match.group("where_col"):
+            where_column = match.group("where_col")
+            if where_column not in table.columns:
+                raise SqlError(f"unknown column {where_column!r} in WHERE")
+            where_index = table.columns.index(where_column)
+            wanted_value = _parse_literal(match.group("where_val"))
+            rows = [row for row in rows if row[where_index] == wanted_value]
+        return [tuple(row[index] for index in column_indices) for row in rows]
+
+    # ------------------------------------------------------------------ misc
+    def reset(self) -> None:
+        """Drop all state (used when the simulated server restarts)."""
+        self._databases.clear()
+        self._current_db = None
+        self._open_connections = 0

@@ -1,0 +1,69 @@
+"""Workspace management for systems under test that live on disk.
+
+The simulated SUTs take configuration file *texts* directly, but real
+systems (driven through :mod:`repro.sut.process`) need the faulty files
+written somewhere before the start script runs.  :class:`Workspace` owns a
+temporary directory, deploys configuration files into it, snapshots the
+originals and restores them between injections.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A disposable directory holding the SUT's configuration files."""
+
+    def __init__(self, root: str | Path | None = None):
+        self._owns_root = root is None
+        self.root = Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="conferr-"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._snapshot: dict[str, str] | None = None
+
+    # ----------------------------------------------------------------- deploy
+    def deploy(self, files: Mapping[str, str]) -> dict[str, Path]:
+        """Write ``files`` (name -> text) into the workspace; returns their paths."""
+        written: dict[str, Path] = {}
+        for name, text in files.items():
+            path = self.root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            written[name] = path
+        return written
+
+    def read(self, name: str) -> str:
+        """Read one deployed file back."""
+        return (self.root / name).read_text(encoding="utf-8")
+
+    def path_of(self, name: str) -> Path:
+        """Absolute path of a deployed file."""
+        return self.root / name
+
+    # --------------------------------------------------------------- snapshots
+    def snapshot(self, files: Mapping[str, str]) -> None:
+        """Remember the pristine configuration for later restores."""
+        self._snapshot = dict(files)
+        self.deploy(files)
+
+    def restore(self) -> None:
+        """Re-deploy the snapshotted pristine configuration."""
+        if self._snapshot is not None:
+            self.deploy(self._snapshot)
+
+    # ----------------------------------------------------------------- cleanup
+    def cleanup(self) -> None:
+        """Delete the workspace directory (only when this object created it)."""
+        if self._owns_root and self.root.exists():
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()

@@ -1,0 +1,62 @@
+"""Unit tests for campaigns (multi-plugin orchestration)."""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.errors import CampaignError
+from repro.plugins import SpellingMistakesPlugin, StructuralErrorsPlugin
+from repro.sut.postgres import SimulatedPostgres
+
+
+class TestCampaign:
+    def test_requires_at_least_one_plugin(self):
+        with pytest.raises(CampaignError):
+            Campaign(SimulatedPostgres(), []).run()
+
+    def test_per_plugin_profiles_and_overall_merge(self):
+        campaign = Campaign(
+            SimulatedPostgres(),
+            [
+                SpellingMistakesPlugin(mutations_per_token=1),
+                StructuralErrorsPlugin(include=["omit-directive"]),
+            ],
+            seed=3,
+        )
+        result = campaign.run()
+        assert set(result.per_plugin) == {"spelling", "structural"}
+        assert len(result.overall) == sum(len(p) for p in result.per_plugin.values())
+        assert result.profile("spelling") is result.per_plugin["spelling"]
+
+    def test_seed_reproducibility(self):
+        def run_once():
+            campaign = Campaign(
+                SimulatedPostgres(), [SpellingMistakesPlugin(mutations_per_token=1)], seed=11
+            )
+            return [r.scenario_id for r in campaign.run().overall]
+
+        assert run_once() == run_once()
+
+    def test_observer_receives_every_record(self):
+        seen = []
+        campaign = Campaign(
+            SimulatedPostgres(),
+            [SpellingMistakesPlugin(mutations_per_token=1)],
+            seed=3,
+            observer=seen.append,
+        )
+        result = campaign.run()
+        assert len(seen) == len(result.overall)
+
+    def test_unhealthy_baseline_aborts_campaign(self):
+        broken = SimulatedPostgres(default_config="max_connections = banana\n")
+        campaign = Campaign(broken, [SpellingMistakesPlugin(mutations_per_token=1)], seed=3)
+        with pytest.raises(CampaignError):
+            campaign.run()
+
+    def test_baseline_check_can_be_disabled(self):
+        broken = SimulatedPostgres(default_config="max_connections = banana\n")
+        campaign = Campaign(
+            broken, [SpellingMistakesPlugin(mutations_per_token=1)], seed=3, check_baseline=False
+        )
+        result = campaign.run()
+        assert len(result.overall) > 0

@@ -1,0 +1,97 @@
+"""Unit tests for the template combinators (union, random subset, limit, filter)."""
+
+import random
+
+import pytest
+
+from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
+from repro.core.templates import (
+    DeleteTemplate,
+    FilterTemplate,
+    LimitTemplate,
+    RandomSubsetTemplate,
+    UnionTemplate,
+)
+from repro.errors import TemplateError
+
+
+@pytest.fixture
+def config_set() -> ConfigSet:
+    children = [ConfigNode("directive", f"key{i}", str(i)) for i in range(10)]
+    tree = ConfigTree("flat.conf", ConfigNode("file", name="flat.conf", children=children), "lineconf")
+    return ConfigSet([tree])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(99)
+
+
+class TestUnionTemplate:
+    def test_union_concatenates(self, config_set, rng):
+        union = UnionTemplate([DeleteTemplate("//directive"), DeleteTemplate("//directive[@name='key1']")])
+        scenarios = union.generate(config_set, rng)
+        assert len(scenarios) == 11
+
+    def test_union_ids_are_unique(self, config_set, rng):
+        union = UnionTemplate([DeleteTemplate("//directive"), DeleteTemplate("//directive")])
+        ids = [s.scenario_id for s in union.generate(config_set, rng)]
+        assert len(ids) == len(set(ids)) == 20
+
+    def test_union_preserves_category_and_operations(self, config_set, rng):
+        union = UnionTemplate([DeleteTemplate("//directive", category="custom")])
+        scenario = union.generate(config_set, rng)[0]
+        assert scenario.category == "custom"
+        mutated = scenario.apply(config_set)
+        assert mutated.get("flat.conf").node_count() == config_set.get("flat.conf").node_count() - 1
+
+    def test_union_requires_templates(self):
+        with pytest.raises(TemplateError):
+            UnionTemplate([])
+
+
+class TestRandomSubsetTemplate:
+    def test_subset_size_respected(self, config_set, rng):
+        subset = RandomSubsetTemplate(DeleteTemplate("//directive"), size=4)
+        assert len(subset.generate(config_set, rng)) == 4
+
+    def test_subset_returns_all_when_fewer(self, config_set, rng):
+        subset = RandomSubsetTemplate(DeleteTemplate("//directive[@name='key1']"), size=5)
+        assert len(subset.generate(config_set, rng)) == 1
+
+    def test_subset_is_seed_deterministic(self, config_set):
+        subset = RandomSubsetTemplate(DeleteTemplate("//directive"), size=3)
+        first = [s.scenario_id for s in subset.generate(config_set, random.Random(7))]
+        second = [s.scenario_id for s in subset.generate(config_set, random.Random(7))]
+        assert first == second
+
+    def test_negative_size_rejected(self, config_set):
+        with pytest.raises(TemplateError):
+            RandomSubsetTemplate(DeleteTemplate("//directive"), size=-1)
+
+
+class TestLimitTemplate:
+    def test_limit_truncates_deterministically(self, config_set, rng):
+        limited = LimitTemplate(DeleteTemplate("//directive"), limit=2)
+        scenarios = limited.generate(config_set, rng)
+        assert [s.metadata["node"] for s in scenarios] == ["directive:key0", "directive:key1"]
+
+    def test_limit_zero(self, config_set, rng):
+        assert LimitTemplate(DeleteTemplate("//directive"), limit=0).generate(config_set, rng) == []
+
+    def test_negative_limit_rejected(self, config_set):
+        with pytest.raises(TemplateError):
+            LimitTemplate(DeleteTemplate("//directive"), limit=-2)
+
+
+class TestFilterTemplate:
+    def test_filter_applies_predicate(self, config_set, rng):
+        filtered = FilterTemplate(
+            DeleteTemplate("//directive"),
+            predicate=lambda scenario: scenario.metadata["node"].endswith(("key1", "key2")),
+        )
+        assert len(filtered.generate(config_set, rng)) == 2
+
+    def test_filter_can_remove_everything(self, config_set, rng):
+        filtered = FilterTemplate(DeleteTemplate("//directive"), predicate=lambda s: False)
+        assert filtered.generate(config_set, rng) == []

@@ -1,0 +1,162 @@
+"""Unit tests for resilience profiles, outcomes and detection bins."""
+
+import json
+
+import pytest
+
+from repro.core.profile import (
+    DETECTION_BINS,
+    InjectionOutcome,
+    InjectionRecord,
+    ResilienceProfile,
+    detection_bin,
+)
+
+
+def record(outcome: InjectionOutcome, category: str = "typo", directive: str | None = None) -> InjectionRecord:
+    return InjectionRecord(
+        scenario_id=f"{category}-{outcome.value}",
+        category=category,
+        description="test record",
+        outcome=outcome,
+        metadata={"directive": directive} if directive else {},
+    )
+
+
+class TestOutcome:
+    def test_is_detected(self):
+        assert InjectionOutcome.DETECTED_AT_STARTUP.is_detected()
+        assert InjectionOutcome.DETECTED_BY_TESTS.is_detected()
+        assert not InjectionOutcome.IGNORED.is_detected()
+        assert not InjectionOutcome.INJECTION_IMPOSSIBLE.is_detected()
+
+    def test_counts_as_injected(self):
+        assert InjectionOutcome.IGNORED.counts_as_injected()
+        assert not InjectionOutcome.INJECTION_IMPOSSIBLE.counts_as_injected()
+        assert not InjectionOutcome.HARNESS_ERROR.counts_as_injected()
+
+
+class TestDetectionBin:
+    @pytest.mark.parametrize(
+        "rate,expected",
+        [
+            (0.0, "poor"),
+            (0.24, "poor"),
+            (0.25, "fair"),
+            (0.49, "fair"),
+            (0.5, "good"),
+            (0.74, "good"),
+            (0.75, "excellent"),
+            (1.0, "excellent"),
+        ],
+    )
+    def test_bin_boundaries(self, rate, expected):
+        assert detection_bin(rate) == expected
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            detection_bin(1.5)
+        with pytest.raises(ValueError):
+            detection_bin(-0.1)
+
+    def test_bins_cover_unit_interval(self):
+        assert DETECTION_BINS[0][1] == 0.0
+        assert DETECTION_BINS[-1][2] == 1.0
+
+
+class TestResilienceProfile:
+    def build(self) -> ResilienceProfile:
+        profile = ResilienceProfile("TestSys")
+        profile.add(record(InjectionOutcome.DETECTED_AT_STARTUP, "typo", "port"))
+        profile.add(record(InjectionOutcome.DETECTED_BY_TESTS, "typo", "port"))
+        profile.add(record(InjectionOutcome.IGNORED, "typo", "datadir"))
+        profile.add(record(InjectionOutcome.IGNORED, "structure", "datadir"))
+        profile.add(record(InjectionOutcome.INJECTION_IMPOSSIBLE, "semantic"))
+        profile.add(record(InjectionOutcome.HARNESS_ERROR, "semantic"))
+        return profile
+
+    def test_counts(self):
+        profile = self.build()
+        assert len(profile) == 6
+        assert profile.injected_count() == 4
+        assert profile.detected_count() == 2
+        assert profile.ignored_count() == 2
+
+    def test_detection_rate_and_bin(self):
+        profile = self.build()
+        assert profile.detection_rate() == pytest.approx(0.5)
+        assert profile.detection_bin() == "good"
+
+    def test_empty_profile_rate_is_zero(self):
+        assert ResilienceProfile("empty").detection_rate() == 0.0
+
+    def test_outcome_counts_include_all_outcomes(self):
+        counts = self.build().outcome_counts()
+        assert set(counts) == set(InjectionOutcome)
+        assert counts[InjectionOutcome.IGNORED] == 2
+
+    def test_records_with(self):
+        profile = self.build()
+        assert len(profile.records_with(InjectionOutcome.IGNORED)) == 2
+
+    def test_categories_in_first_appearance_order(self):
+        assert self.build().categories() == ["typo", "structure", "semantic"]
+
+    def test_by_category_split(self):
+        by_category = self.build().by_category()
+        assert by_category["typo"].injected_count() == 3
+        assert by_category["semantic"].injected_count() == 0
+
+    def test_by_metadata_split(self):
+        by_directive = self.build().by_metadata("directive")
+        assert by_directive["port"].detection_rate() == 1.0
+        assert by_directive["datadir"].detection_rate() == 0.0
+        assert None in by_directive
+
+    def test_merge_and_extend(self):
+        profile = self.build()
+        other = ResilienceProfile("TestSys", [record(InjectionOutcome.IGNORED)])
+        merged = profile.merge(other)
+        assert len(merged) == 7
+        profile.extend(other.records)
+        assert len(profile) == 7
+
+    def test_to_dict_and_json(self):
+        profile = self.build()
+        data = profile.to_dict()
+        assert data["system"] == "TestSys"
+        assert data["injected"] == 4
+        assert len(data["records"]) == 6
+        parsed = json.loads(profile.to_json())
+        assert parsed["outcomes"]["ignored"] == 2
+
+    def test_record_to_dict(self):
+        entry = record(InjectionOutcome.DETECTED_BY_TESTS).to_dict()
+        assert entry["outcome"] == "detected-by-tests"
+        assert "scenario_id" in entry and "metadata" in entry
+
+    def test_roundtrip_through_dict_and_json(self):
+        profile = self.build()
+        rebuilt = ResilienceProfile.from_json(profile.to_json())
+        assert rebuilt.system_name == profile.system_name
+        assert len(rebuilt) == len(profile)
+        assert rebuilt.detection_rate() == profile.detection_rate()
+        assert [r.outcome for r in rebuilt] == [r.outcome for r in profile]
+
+    def test_save_and_load(self, tmp_path):
+        profile = self.build()
+        path = tmp_path / "profile.json"
+        profile.save(str(path))
+        loaded = ResilienceProfile.load(str(path))
+        assert loaded.outcome_counts() == profile.outcome_counts()
+
+    def test_record_from_dict_roundtrip(self):
+        original = record(InjectionOutcome.DETECTED_BY_TESTS, "typo", "port")
+        rebuilt = InjectionRecord.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_summary_mentions_key_numbers(self):
+        text = self.build().summary()
+        assert "TestSys" in text
+        assert "injected errors:        4" in text
+        assert "50.0%" in text

@@ -1,0 +1,98 @@
+"""Unit tests for report rendering (tables and the Figure 3 distribution)."""
+
+from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
+from repro.core.report import (
+    detection_distribution,
+    format_table,
+    render_distribution_chart,
+    semantic_behaviour_table,
+    structural_support_table,
+    typo_resilience_table,
+)
+
+
+def profile_with(startup: int, by_tests: int, ignored: int, name: str = "Sys") -> ResilienceProfile:
+    profile = ResilienceProfile(name)
+    for index in range(startup):
+        profile.add(InjectionRecord(f"s{index}", "typo", "", InjectionOutcome.DETECTED_AT_STARTUP))
+    for index in range(by_tests):
+        profile.add(InjectionRecord(f"t{index}", "typo", "", InjectionOutcome.DETECTED_BY_TESTS))
+    for index in range(ignored):
+        profile.add(InjectionRecord(f"i{index}", "typo", "", InjectionOutcome.IGNORED))
+    return profile
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_cells_are_stringified(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestTypoResilienceTable:
+    def test_counts_and_percentages(self):
+        profiles = {"MySQL": profile_with(8, 1, 1), "Postgres": profile_with(7, 0, 3)}
+        text = typo_resilience_table(profiles)
+        assert "10 (100%)" in text
+        assert "8 (80%)" in text
+        assert "3 (30%)" in text
+        assert "MySQL" in text and "Postgres" in text
+
+    def test_handles_empty_profiles(self):
+        text = typo_resilience_table({"Empty": ResilienceProfile("Empty")})
+        assert "Empty" in text
+
+
+class TestStructuralSupportTable:
+    def test_percentage_excludes_na(self):
+        support = {
+            "MySQL": {"A": "Yes", "B": "Yes", "C": "No", "D": "Yes", "E": "Yes"},
+            "Postgres": {"A": "n/a", "B": "Yes", "C": "Yes", "D": "No", "E": "Yes"},
+        }
+        text = structural_support_table(support)
+        assert "80%" in text  # MySQL: 4/5
+        assert "75%" in text  # Postgres: 3/4 applicable
+        assert "n/a" in text
+
+    def test_row_order_follows_insertion(self):
+        support = {"S": {"first": "Yes", "second": "No"}}
+        text = structural_support_table(support)
+        assert text.index("first") < text.index("second")
+
+
+class TestSemanticBehaviourTable:
+    def test_rows_are_numbered_and_systems_columned(self):
+        behaviour = {
+            "Missing PTR": {"BIND": "not found", "djbdns": "N/A"},
+            "MX pointing to CNAME": {"BIND": "found", "djbdns": "not found"},
+        }
+        text = semantic_behaviour_table(behaviour)
+        assert "1" in text and "2" in text
+        assert "BIND" in text and "djbdns" in text
+        assert "not found" in text and "N/A" in text
+
+
+class TestDetectionDistribution:
+    def test_distribution_shares_sum_to_one(self):
+        rates = {"a": 0.1, "b": 0.3, "c": 0.6, "d": 0.9}
+        distribution = detection_distribution(rates)
+        assert sum(distribution.values()) == 1.0
+        assert distribution["poor"] == 0.25
+        assert distribution["excellent"] == 0.25
+
+    def test_empty_rates(self):
+        distribution = detection_distribution({})
+        assert all(share == 0.0 for share in distribution.values())
+
+    def test_chart_contains_all_bins_and_systems(self):
+        chart = render_distribution_chart(
+            {"MySQL": {"poor": 0.5, "fair": 0.25, "good": 0.25, "excellent": 0.0}}
+        )
+        for label in ("poor", "fair", "good", "excellent", "MySQL"):
+            assert label in chart
+        assert "50.0%" in chart

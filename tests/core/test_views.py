@@ -1,0 +1,145 @@
+"""Unit tests for the token, structure and identity views."""
+
+import pytest
+
+from repro.core.infoset import ConfigNode, ConfigSet
+from repro.core.views import IdentityView, StructureView, TokenView
+from repro.core.views.token_view import (
+    TOKEN_DIRECTIVE_NAME,
+    TOKEN_DIRECTIVE_VALUE,
+    TOKEN_SECTION_ARG,
+    TOKEN_SECTION_NAME,
+)
+from repro.parsers.base import get_dialect, serialize_tree
+
+
+@pytest.fixture
+def ini_set() -> ConfigSet:
+    text = "[mysqld]\nport = 3306\nkey_buffer_size = 16M\nskip-external-locking\n"
+    return ConfigSet([get_dialect("ini").parse(text, "my.cnf")])
+
+
+@pytest.fixture
+def apache_set() -> ConfigSet:
+    text = (
+        "Listen 80\n"
+        "<VirtualHost *:80>\n"
+        "    ServerName www.example.com\n"
+        "    Options Indexes FollowSymLinks\n"
+        "</VirtualHost>\n"
+    )
+    return ConfigSet([get_dialect("apache").parse(text, "httpd.conf")])
+
+
+class TestIdentityView:
+    def test_roundtrip_is_structural_copy(self, ini_set):
+        view = IdentityView()
+        transformed = view.transform(ini_set)
+        assert transformed.structurally_equal(ini_set)
+        assert transformed is not ini_set
+        back = view.untransform(transformed, ini_set)
+        assert back.structurally_equal(ini_set)
+
+    def test_mutating_view_does_not_touch_original(self, ini_set):
+        view = IdentityView()
+        transformed = view.transform(ini_set)
+        transformed.get("my.cnf").root.children[0].children[0].value = "1"
+        assert ini_set.get("my.cnf").root.children[0].children[0].value == "3306"
+
+
+class TestTokenView:
+    def test_token_types_for_ini(self, ini_set):
+        view_set = TokenView().transform(ini_set)
+        tokens = [n for n in view_set.get("my.cnf").walk() if n.kind == "token"]
+        types = {t.get("token_type") for t in tokens}
+        assert TOKEN_SECTION_NAME in types and TOKEN_DIRECTIVE_NAME in types and TOKEN_DIRECTIVE_VALUE in types
+
+    def test_flag_directive_has_no_value_token(self, ini_set):
+        view_set = TokenView().transform(ini_set)
+        lines = [n for n in view_set.get("my.cnf").walk() if n.kind == "line" and n.name == "skip-external-locking"]
+        assert len(lines) == 1
+        assert all(t.get("field") == "name" for t in lines[0].children)
+
+    def test_tokens_record_owner_name(self, ini_set):
+        view_set = TokenView().transform(ini_set)
+        value_tokens = [
+            n for n in view_set.get("my.cnf").walk()
+            if n.kind == "token" and n.get("token_type") == TOKEN_DIRECTIVE_VALUE
+        ]
+        assert {t.get("owner_name") for t in value_tokens} == {"port", "key_buffer_size"}
+
+    def test_untransform_writes_back_name_and_value(self, ini_set):
+        view = TokenView()
+        view_set = view.transform(ini_set)
+        for token in view_set.get("my.cnf").walk():
+            if token.kind == "token" and token.value == "3306":
+                token.value = "33o6"
+            if token.kind == "token" and token.value == "port":
+                token.value = "prt"
+        back = view.untransform(view_set, ini_set)
+        text = serialize_tree(back.get("my.cnf"))
+        assert "prt = 33o6" in text
+        # the original set is untouched
+        assert "port = 3306" in serialize_tree(ini_set.get("my.cnf"))
+
+    def test_multi_word_values_keep_their_gaps(self, apache_set):
+        view = TokenView()
+        view_set = view.transform(apache_set)
+        back = view.untransform(view_set, apache_set)
+        assert serialize_tree(back.get("httpd.conf")) == serialize_tree(apache_set.get("httpd.conf"))
+
+    def test_mutating_one_word_of_a_multi_word_value(self, apache_set):
+        view = TokenView()
+        view_set = view.transform(apache_set)
+        for token in view_set.get("httpd.conf").walk():
+            if token.kind == "token" and token.value == "FollowSymLinks":
+                token.value = "FollowSymLink"
+        text = serialize_tree(view.untransform(view_set, apache_set).get("httpd.conf"))
+        assert "Options Indexes FollowSymLink\n" in text
+
+    def test_section_arguments_are_tokenised(self, apache_set):
+        view_set = TokenView().transform(apache_set)
+        args = [
+            n.value for n in view_set.get("httpd.conf").walk()
+            if n.kind == "token" and n.get("token_type") == TOKEN_SECTION_ARG
+        ]
+        assert "*:80" in args
+
+    def test_include_flags(self, ini_set):
+        names_only = TokenView(include_values=False).transform(ini_set)
+        assert all(
+            t.get("field") == "name" for t in names_only.get("my.cnf").walk() if t.kind == "token"
+        )
+        values_only = TokenView(include_names=False).transform(ini_set)
+        assert all(
+            t.get("field") == "value" for t in values_only.get("my.cnf").walk() if t.kind == "token"
+        )
+
+    def test_comments_and_blanks_produce_no_lines(self):
+        text = "# a comment\n\nname = value\n"
+        config_set = ConfigSet([get_dialect("lineconf").parse(text, "x.conf")])
+        view_set = TokenView().transform(config_set)
+        assert len(view_set.get("x.conf").root.children_of_kind("line")) == 1
+
+
+class TestStructureView:
+    def test_transform_is_clone(self, apache_set):
+        view = StructureView()
+        assert view.transform(apache_set).structurally_equal(apache_set)
+
+    def test_sections_and_directives_helpers(self, apache_set):
+        tree = apache_set.get("httpd.conf")
+        assert [s.name for s in StructureView.sections(tree)] == ["VirtualHost"]
+        assert len(StructureView.directives(tree)) == 3
+
+    def test_directive_containers_for_flat_file(self):
+        text = "a = 1\nb = 2\n"
+        tree = get_dialect("pgconf").parse(text, "postgresql.conf")
+        containers = StructureView.directive_containers(tree)
+        assert containers == [tree.root]
+        assert len(StructureView.directives_in(containers[0])) == 2
+
+    def test_directive_containers_for_nested_file(self, apache_set):
+        containers = StructureView.directive_containers(apache_set.get("httpd.conf"))
+        kinds = [c.kind for c in containers]
+        assert "file" in kinds and "section" in kinds

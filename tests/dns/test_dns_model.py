@@ -1,0 +1,191 @@
+"""Unit tests for the DNS substrate: names, records and the resolver."""
+
+import pytest
+
+from repro.dns import (
+    DnsRecord,
+    RecordSet,
+    ResolutionError,
+    Resolver,
+    is_reverse_name,
+    ip_from_reverse_name,
+    normalize_name,
+    reverse_pointer_name,
+)
+from repro.dns.names import is_subdomain_of
+
+
+class TestNames:
+    def test_relative_name_gets_origin(self):
+        assert normalize_name("www", "example.com.") == "www.example.com"
+
+    def test_absolute_name_keeps_itself(self):
+        assert normalize_name("ftp.example.org.", "example.com") == "ftp.example.org"
+
+    def test_at_sign_is_origin(self):
+        assert normalize_name("@", "Example.COM") == "example.com"
+
+    def test_lowercasing(self):
+        assert normalize_name("WWW.Example.Com.") == "www.example.com"
+
+    def test_empty_name_is_origin(self):
+        assert normalize_name("", "example.com") == "example.com"
+
+    def test_reverse_pointer_name(self):
+        assert reverse_pointer_name("192.0.2.10") == "10.2.0.192.in-addr.arpa"
+
+    def test_reverse_pointer_rejects_bad_ip(self):
+        with pytest.raises(ValueError):
+            reverse_pointer_name("not-an-ip")
+        with pytest.raises(ValueError):
+            reverse_pointer_name("300.0.0.1")
+
+    def test_ip_from_reverse_name_roundtrip(self):
+        assert ip_from_reverse_name(reverse_pointer_name("203.0.113.7")) == "203.0.113.7"
+
+    def test_ip_from_reverse_name_rejects_forward_names(self):
+        with pytest.raises(ValueError):
+            ip_from_reverse_name("www.example.com")
+        with pytest.raises(ValueError):
+            ip_from_reverse_name("2.0.192.in-addr.arpa")  # not a full address
+
+    def test_is_reverse_name(self):
+        assert is_reverse_name("10.2.0.192.in-addr.arpa.")
+        assert not is_reverse_name("www.example.com")
+
+    def test_is_subdomain_of(self):
+        assert is_subdomain_of("www.example.com", "example.com")
+        assert is_subdomain_of("example.com", "example.com")
+        assert not is_subdomain_of("www.example.org", "example.com")
+        assert not is_subdomain_of("notexample.com", "example.com")
+
+
+class TestDnsRecord:
+    def test_names_are_normalised(self):
+        record = DnsRecord("WWW.Example.Com.", "a", "192.0.2.1")
+        assert record.name == "www.example.com"
+        assert record.rtype == "A"
+
+    def test_target_names_normalised_for_pointer_types(self):
+        record = DnsRecord("alias.example.com", "CNAME", "WWW.Example.Com.")
+        assert record.value == "www.example.com"
+
+    def test_address_values_untouched(self):
+        assert DnsRecord("www.example.com", "A", "192.0.2.1").value == "192.0.2.1"
+
+    def test_with_value_and_with_name(self):
+        record = DnsRecord("www.example.com", "A", "192.0.2.1")
+        assert record.with_value("192.0.2.2").value == "192.0.2.2"
+        assert record.with_name("w2.example.com").name == "w2.example.com"
+
+    def test_is_reverse_and_key_and_str(self):
+        ptr = DnsRecord("10.2.0.192.in-addr.arpa", "PTR", "www.example.com")
+        assert ptr.is_reverse()
+        assert ptr.key() == ("10.2.0.192.in-addr.arpa", "PTR", "www.example.com")
+        assert "PTR" in str(ptr)
+        mx = DnsRecord("example.com", "MX", "mail.example.com", priority=10)
+        assert "10" in str(mx)
+
+
+class TestRecordSet:
+    def build(self) -> RecordSet:
+        return RecordSet(
+            [
+                DnsRecord("example.com", "SOA", "ns1.example.com"),
+                DnsRecord("example.com", "NS", "ns1.example.com"),
+                DnsRecord("ns1.example.com", "A", "192.0.2.1"),
+                DnsRecord("www.example.com", "A", "192.0.2.10"),
+                DnsRecord("ftp.example.com", "CNAME", "www.example.com"),
+                DnsRecord("example.com", "MX", "mail.example.com", priority=10),
+                DnsRecord("mail.example.com", "A", "192.0.2.20"),
+                DnsRecord("10.2.0.192.in-addr.arpa", "PTR", "www.example.com"),
+            ]
+        )
+
+    def test_len_and_iteration(self):
+        record_set = self.build()
+        assert len(record_set) == 8
+        assert len(list(record_set)) == 8
+
+    def test_records_filtering(self):
+        record_set = self.build()
+        assert len(record_set.records(rtype="A")) == 3
+        assert len(record_set.records("example.com")) == 3
+        assert len(record_set.records("example.com", "NS")) == 1
+
+    def test_has_with_and_without_value(self):
+        record_set = self.build()
+        assert record_set.has("www.example.com", "A")
+        assert record_set.has("www.example.com", "A", "192.0.2.10")
+        assert not record_set.has("www.example.com", "AAAA")
+
+    def test_names_deduplicated_in_order(self):
+        names = self.build().names()
+        assert names[0] == "example.com"
+        assert len(names) == len(set(names))
+
+    def test_forward_and_reverse_partition(self):
+        record_set = self.build()
+        assert len(record_set.reverse_records()) == 1
+        assert len(record_set.forward_records()) == 7
+
+    def test_remove_and_discard_where(self):
+        record_set = self.build()
+        record_set.remove(DnsRecord("www.example.com", "A", "192.0.2.10"))
+        assert not record_set.has("www.example.com", "A")
+        removed = record_set.discard_where(lambda r: r.rtype == "A")
+        assert removed == 2
+
+    def test_clone_is_independent(self):
+        record_set = self.build()
+        copy = record_set.clone()
+        copy.discard_where(lambda r: True)
+        assert len(record_set) == 8 and len(copy) == 0
+
+
+class TestResolver:
+    def resolver(self) -> Resolver:
+        return Resolver(TestRecordSet().build())
+
+    def test_direct_resolution(self):
+        answer = self.resolver().resolve("www.example.com", "A")
+        assert answer.values() == ["192.0.2.10"]
+        assert answer.cname_chain == ()
+
+    def test_cname_chasing(self):
+        answer = self.resolver().resolve("ftp.example.com", "A")
+        assert answer.values() == ["192.0.2.10"]
+        assert answer.cname_chain == ("ftp.example.com",)
+
+    def test_cname_query_not_chased(self):
+        answer = self.resolver().resolve("ftp.example.com", "CNAME")
+        assert answer.values() == ["www.example.com"]
+
+    def test_missing_name_raises(self):
+        with pytest.raises(ResolutionError):
+            self.resolver().resolve("nothere.example.com", "A")
+
+    def test_missing_type_raises(self):
+        with pytest.raises(ResolutionError):
+            self.resolver().resolve("www.example.com", "TXT")
+
+    def test_cname_loop_detected(self):
+        records = RecordSet(
+            [
+                DnsRecord("a.example.com", "CNAME", "b.example.com"),
+                DnsRecord("b.example.com", "CNAME", "a.example.com"),
+            ]
+        )
+        with pytest.raises(ResolutionError):
+            Resolver(records).resolve("a.example.com", "A")
+
+    def test_address_of_and_reverse_lookup(self):
+        resolver = self.resolver()
+        assert resolver.address_of("ftp.example.com") == "192.0.2.10"
+        assert resolver.reverse_lookup("192.0.2.10") == "www.example.com"
+
+    def test_mail_exchangers_sorted(self):
+        records = TestRecordSet().build()
+        records.add(DnsRecord("example.com", "MX", "backup.example.com", priority=20))
+        pairs = Resolver(records).mail_exchangers("example.com")
+        assert pairs == [(10, "mail.example.com"), (20, "backup.example.com")]

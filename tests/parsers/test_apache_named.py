@@ -1,0 +1,117 @@
+"""Unit tests for the Apache httpd.conf and BIND named.conf dialects."""
+
+import pytest
+
+from repro.core.infoset import ConfigNode
+from repro.errors import ParseError, SerializationError
+from repro.parsers.apacheconf import ApacheConfDialect
+from repro.parsers.namedconf import NamedConfDialect
+from repro.sut.apache.directives import DEFAULT_HTTPD_CONF
+from repro.sut.dns.bind_server import DEFAULT_NAMED_CONF
+
+
+class TestApacheConfDialect:
+    dialect = ApacheConfDialect()
+
+    def test_simple_directive(self):
+        tree = self.dialect.parse("Listen 80\n", "httpd.conf")
+        node = tree.root.children[0]
+        assert (node.name, node.value) == ("Listen", "80")
+
+    def test_directive_without_argument(self):
+        tree = self.dialect.parse("ClearModuleList\n", "httpd.conf")
+        assert tree.root.children[0].value in (None, "")
+
+    def test_nested_sections(self):
+        text = "<VirtualHost *:80>\n<Directory />\nOptions None\n</Directory>\n</VirtualHost>\n"
+        tree = self.dialect.parse(text, "httpd.conf")
+        vhost = tree.root.children[0]
+        assert vhost.kind == "section" and vhost.value == "*:80"
+        directory = vhost.children[0]
+        assert directory.kind == "section" and directory.children[0].name == "Options"
+
+    def test_section_close_is_case_insensitive(self):
+        text = "<IfModule x>\nListen 80\n</ifmodule>\n"
+        tree = self.dialect.parse(text, "httpd.conf")
+        assert tree.root.children[0].kind == "section"
+
+    def test_mismatched_close_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("<Directory />\n</Files>\n", "httpd.conf")
+
+    def test_unexpected_close_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("</Directory>\n", "httpd.conf")
+
+    def test_unclosed_section_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("<Directory />\nOptions None\n", "httpd.conf")
+
+    def test_roundtrip_default_config(self):
+        assert self.dialect.roundtrip(DEFAULT_HTTPD_CONF) == DEFAULT_HTTPD_CONF
+
+    def test_default_config_directive_count_matches_paper(self):
+        tree = self.dialect.parse(DEFAULT_HTTPD_CONF, "httpd.conf")
+        directives = tree.find_all(lambda n: n.kind == "directive")
+        assert len(directives) == 98
+
+    def test_comments_preserved(self):
+        text = "# top comment\nListen 80\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_serializing_new_nodes_uses_depth_indentation(self):
+        tree = self.dialect.parse("<Directory />\nOptions None\n</Directory>\n", "httpd.conf")
+        tree.root.children[0].append(ConfigNode("directive", "AllowOverride", "None"))
+        text = self.dialect.serialize(tree)
+        assert "    AllowOverride None" in text
+
+    def test_serialize_rejects_unknown_kind(self):
+        tree = self.dialect.parse("Listen 80\n", "httpd.conf")
+        tree.root.append(ConfigNode("record", "x"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+
+class TestNamedConfDialect:
+    dialect = NamedConfDialect()
+
+    def test_sections_and_directives(self):
+        tree = self.dialect.parse(DEFAULT_NAMED_CONF, "named.conf")
+        sections = tree.root.children_of_kind("section")
+        assert [s.name for s in sections] == ["options", "zone", "zone"]
+        zone = sections[1]
+        assert zone.value == '"example.com"'
+        assert zone.child_named("file").value == '"example.com.zone"'
+
+    def test_roundtrip_default(self):
+        assert self.dialect.roundtrip(DEFAULT_NAMED_CONF) == DEFAULT_NAMED_CONF
+
+    def test_comments_both_styles(self):
+        text = "// c1\n# c2\noptions {\n    recursion no;\n};\n"
+        tree = self.dialect.parse(text, "named.conf")
+        assert [c.get("marker") for c in tree.root.children_of_kind("comment")] == ["//", "#"]
+        assert self.dialect.roundtrip(text) == text
+
+    def test_nested_blocks_and_items(self):
+        text = 'options {\n    allow-query {\n        10.0.0.0/8;\n    };\n};\n'
+        tree = self.dialect.parse(text, "named.conf")
+        options = tree.root.children[0]
+        allow = options.children[0]
+        assert allow.kind == "section" and allow.children[0].kind == "item"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_unbalanced_brace_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("options {\n recursion no;\n", "named.conf")
+        with pytest.raises(ParseError):
+            self.dialect.parse("};\n", "named.conf")
+
+    def test_directive_without_value(self):
+        tree = self.dialect.parse("options {\n    notify;\n};\n", "named.conf")
+        assert tree.root.children[0].children[0].value is None
+
+    def test_serialize_rejects_unknown_kind(self):
+        tree = self.dialect.parse("options {\n    recursion no;\n};\n", "named.conf")
+        tree.root.append(ConfigNode("record", "x"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)

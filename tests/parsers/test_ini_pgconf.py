@@ -1,0 +1,117 @@
+"""Unit tests for the MySQL INI and postgresql.conf dialects."""
+
+import pytest
+
+from repro.core.infoset import ConfigNode
+from repro.errors import ParseError, SerializationError
+from repro.parsers.ini import IniDialect
+from repro.parsers.pgconf import PostgresConfDialect
+from repro.sut.mysql.options import DEFAULT_MY_CNF
+from repro.sut.postgres.options import DEFAULT_POSTGRESQL_CONF
+
+
+class TestIniDialect:
+    dialect = IniDialect()
+
+    def test_sections_and_directives(self):
+        tree = self.dialect.parse("[mysqld]\nport = 3306\nskip-networking\n", "my.cnf")
+        section = tree.root.children[0]
+        assert section.kind == "section" and section.name == "mysqld"
+        assert [d.name for d in section.children_of_kind("directive")] == ["port", "skip-networking"]
+
+    def test_flag_directive_has_none_value(self):
+        tree = self.dialect.parse("[mysqld]\nskip-networking\n", "my.cnf")
+        assert tree.root.children[0].children[0].value is None
+
+    def test_directive_without_spaces_around_equals(self):
+        tree = self.dialect.parse("[a]\nkey=value\n", "my.cnf")
+        node = tree.root.children[0].children[0]
+        assert node.value == "value" and node.get("separator") == "="
+
+    def test_comment_markers(self):
+        tree = self.dialect.parse("# one\n; two\n[a]\nx = 1\n", "my.cnf")
+        comments = tree.root.children_of_kind("comment")
+        assert [c.get("marker") for c in comments] == ["#", ";"]
+
+    def test_directives_before_any_section_stay_on_root(self):
+        tree = self.dialect.parse("top = 1\n[a]\nx = 2\n", "my.cnf")
+        assert tree.root.children[0].kind == "directive"
+
+    def test_inline_comment_preserved(self):
+        text = "[a]\nmax = 10  # ten\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_default_my_cnf_roundtrips(self):
+        assert self.dialect.roundtrip(DEFAULT_MY_CNF) == DEFAULT_MY_CNF
+
+    def test_default_my_cnf_mysqld_directive_count_matches_paper(self):
+        tree = self.dialect.parse(DEFAULT_MY_CNF, "my.cnf")
+        mysqld = next(s for s in tree.root.children_of_kind("section") if s.name == "mysqld")
+        assert len(mysqld.children_of_kind("directive")) == 14
+
+    def test_serialize_rejects_nested_sections(self):
+        tree = self.dialect.parse("[a]\nx = 1\n", "my.cnf")
+        tree.root.children[0].append(ConfigNode("section", "nested"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+    def test_blank_lines_roundtrip(self):
+        text = "[a]\nx = 1\n\n[b]\ny = 2\n"
+        assert self.dialect.roundtrip(text) == text
+
+
+class TestPostgresConfDialect:
+    dialect = PostgresConfDialect()
+
+    def test_basic_directive(self):
+        tree = self.dialect.parse("max_connections = 100\n", "postgresql.conf")
+        node = tree.root.children[0]
+        assert (node.name, node.value) == ("max_connections", "100")
+
+    def test_quoted_value_is_unquoted_in_tree(self):
+        tree = self.dialect.parse("datestyle = 'iso, mdy'\n", "postgresql.conf")
+        node = tree.root.children[0]
+        assert node.value == "iso, mdy"
+        assert node.get("quote") == "'"
+
+    def test_escaped_quote_inside_value(self):
+        text = "search_path = 'a''b'\n"
+        tree = self.dialect.parse(text, "postgresql.conf")
+        assert tree.root.children[0].value == "a'b"
+        assert self.dialect.serialize(tree) == text
+
+    def test_inline_comment_preserved(self):
+        text = "port = 5432  # the port\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_directive_without_equals_separator(self):
+        tree = self.dialect.parse("fsync on\n", "postgresql.conf")
+        node = tree.root.children[0]
+        assert node.name == "fsync" and node.value == "on"
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("???\n", "postgresql.conf")
+
+    def test_parse_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            self.dialect.parse("ok = 1\n???\n", "postgresql.conf")
+        assert "postgresql.conf:2" in str(excinfo.value)
+
+    def test_default_config_roundtrips(self):
+        assert self.dialect.roundtrip(DEFAULT_POSTGRESQL_CONF) == DEFAULT_POSTGRESQL_CONF
+
+    def test_default_config_directive_count_matches_paper(self):
+        tree = self.dialect.parse(DEFAULT_POSTGRESQL_CONF, "postgresql.conf")
+        assert len(tree.root.children_of_kind("directive")) == 8
+
+    def test_serialize_rejects_sections(self):
+        tree = self.dialect.parse("a = 1\n", "postgresql.conf")
+        tree.root.append(ConfigNode("section", "oops"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+    def test_value_mutation_survives_serialisation(self):
+        tree = self.dialect.parse("shared_buffers = 32MB\n", "postgresql.conf")
+        tree.root.children[0].value = "32MBX"
+        assert "32MBX" in self.dialect.serialize(tree)

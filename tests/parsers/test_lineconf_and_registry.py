@@ -1,0 +1,102 @@
+"""Unit tests for the dialect registry and the generic line-oriented dialect."""
+
+import pytest
+
+from repro.core.infoset import ConfigNode, ConfigTree
+from repro.errors import SerializationError
+from repro.parsers.base import (
+    ConfigDialect,
+    available_dialects,
+    get_dialect,
+    register_dialect,
+    serialize_tree,
+)
+from repro.parsers.lineconf import LineConfDialect
+
+
+class TestRegistry:
+    def test_all_bundled_dialects_registered(self):
+        names = available_dialects()
+        for expected in ("lineconf", "ini", "pgconf", "apache", "namedconf", "bindzone", "tinydns", "xml"):
+            assert expected in names
+
+    def test_get_unknown_dialect_raises(self):
+        with pytest.raises(KeyError):
+            get_dialect("does-not-exist")
+
+    def test_register_requires_name(self):
+        class Nameless(ConfigDialect):
+            name = ""
+
+            def parse(self, text, filename="<string>"):
+                raise NotImplementedError
+
+            def serialize(self, tree):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_dialect(Nameless())
+
+    def test_serialize_tree_uses_recorded_dialect(self):
+        tree = get_dialect("lineconf").parse("a = 1\n", "x.conf")
+        assert serialize_tree(tree) == "a = 1\n"
+
+    def test_serialize_tree_with_unknown_dialect_raises_serialization_error(self):
+        tree = ConfigTree("x", ConfigNode("file"), dialect="view:tokens")
+        with pytest.raises(SerializationError):
+            serialize_tree(tree)
+
+    def test_parse_file_reads_from_disk(self, tmp_path):
+        path = tmp_path / "sample.conf"
+        path.write_text("key = value\n", encoding="utf-8")
+        tree = get_dialect("lineconf").parse_file(str(path))
+        assert tree.name == "sample.conf"
+        assert tree.root.children[0].value == "value"
+
+
+class TestLineConf:
+    dialect = LineConfDialect()
+
+    def test_parse_directive_with_equals(self):
+        tree = self.dialect.parse("timeout = 30\n", "x")
+        node = tree.root.children[0]
+        assert (node.kind, node.name, node.value) == ("directive", "timeout", "30")
+
+    def test_parse_directive_with_space_separator(self):
+        tree = self.dialect.parse("user  www-data\n", "x")
+        node = tree.root.children[0]
+        assert node.name == "user" and node.value == "www-data"
+        assert node.get("separator") == "  "
+
+    def test_parse_flag_directive(self):
+        tree = self.dialect.parse("daemonize\n", "x")
+        node = tree.root.children[0]
+        assert node.value is None
+
+    def test_parse_comment_and_blank(self):
+        tree = self.dialect.parse("# hello\n\nkey = v\n", "x")
+        kinds = [n.kind for n in tree.root.children]
+        assert kinds == ["comment", "blank", "directive"]
+
+    def test_roundtrip_preserves_text(self):
+        text = "# header\nkey = value\nflag\nname  spaced value\n\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_roundtrip_without_trailing_newline(self):
+        text = "key = value"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_serialize_rejects_sections(self):
+        tree = self.dialect.parse("a = 1\n", "x")
+        tree.root.append(ConfigNode("section", "oops"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+    def test_custom_comment_markers(self):
+        dialect = LineConfDialect(comment_markers=("#", "//"))
+        tree = dialect.parse("// note\nkey = 1\n", "x")
+        assert tree.root.children[0].kind == "comment"
+
+    def test_indentation_preserved(self):
+        text = "  indented = yes\n"
+        assert self.dialect.roundtrip(text) == text

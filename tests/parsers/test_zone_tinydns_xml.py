@@ -1,0 +1,164 @@
+"""Unit tests for the BIND zone file, tinydns data and XML dialects."""
+
+import pytest
+
+from repro.core.infoset import ConfigNode
+from repro.errors import ParseError, SerializationError
+from repro.parsers.bindzone import BindZoneDialect
+from repro.parsers.tinydns import RECORD_PREFIXES, TinyDnsDialect
+from repro.parsers.xmlconf import XmlConfDialect
+from repro.sut.dns.bind_server import DEFAULT_FORWARD_ZONE, DEFAULT_REVERSE_ZONE
+from repro.sut.dns.djbdns_server import DEFAULT_TINYDNS_DATA
+
+
+class TestBindZoneDialect:
+    dialect = BindZoneDialect()
+
+    def test_controls_parsed(self):
+        tree = self.dialect.parse(DEFAULT_FORWARD_ZONE, "zone")
+        controls = tree.root.children_of_kind("control")
+        assert [(c.name, c.value) for c in controls][:2] == [("TTL", "86400"), ("ORIGIN", "example.com.")]
+
+    def test_record_fields(self):
+        tree = self.dialect.parse("www\tIN\tA\t192.0.2.10\n", "zone")
+        record = tree.root.children[0]
+        assert record.name == "www"
+        assert record.get("type") == "A" and record.get("class") == "IN"
+        assert record.value == "192.0.2.10"
+
+    def test_ttl_in_record(self):
+        tree = self.dialect.parse("www 3600 IN A 192.0.2.10\n", "zone")
+        assert tree.root.children[0].get("ttl") == "3600"
+
+    def test_blank_owner_means_previous(self):
+        tree = self.dialect.parse("www IN A 192.0.2.10\n    IN TXT \"x\"\n", "zone")
+        assert tree.root.children[1].name == ""
+
+    def test_mx_rdata_keeps_priority(self):
+        tree = self.dialect.parse("@ IN MX 10 mail.example.com.\n", "zone")
+        assert tree.root.children[0].value == "10 mail.example.com."
+
+    def test_multiline_soa_joined(self):
+        text = (
+            "@ IN SOA ns1.example.com. admin.example.com. (\n"
+            "    2008010101 ; serial\n"
+            "    3600\n"
+            "    900\n"
+            "    604800\n"
+            "    86400 )\n"
+        )
+        tree = self.dialect.parse(text, "zone")
+        soa = tree.root.children[0]
+        assert soa.get("type") == "SOA"
+        assert "2008010101" in soa.value and "(" not in soa.value
+
+    def test_comment_lines_preserved(self):
+        tree = self.dialect.parse("; a zone comment\nwww IN A 192.0.2.1\n", "zone")
+        assert tree.root.children[0].kind == "comment"
+
+    def test_unknown_record_type_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("www IN BOGUS x\n", "zone")
+
+    def test_unbalanced_parenthesis_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("@ IN SOA a. b. (\n1 2 3 4 5\n", "zone")
+
+    def test_default_zones_roundtrip_and_reparse(self):
+        for text in (DEFAULT_FORWARD_ZONE, DEFAULT_REVERSE_ZONE):
+            serialized = self.dialect.serialize(self.dialect.parse(text, "zone"))
+            reparsed = self.dialect.parse(serialized, "zone")
+            original_records = [
+                (n.name, n.get("type"), n.value)
+                for n in self.dialect.parse(text, "zone").root.children_of_kind("record")
+            ]
+            new_records = [
+                (n.name, n.get("type"), n.value) for n in reparsed.root.children_of_kind("record")
+            ]
+            assert original_records == new_records
+
+    def test_serialize_rejects_unknown_kind(self):
+        tree = self.dialect.parse("www IN A 192.0.2.1\n", "zone")
+        tree.root.append(ConfigNode("section", "x"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+
+class TestTinyDnsDialect:
+    dialect = TinyDnsDialect()
+
+    def test_every_selector_documented(self):
+        for prefix in (".", "&", "=", "+", "@", "'", "^", "C", "Z", ":"):
+            assert prefix in RECORD_PREFIXES
+
+    def test_parse_fields(self):
+        tree = self.dialect.parse("=www.example.com:192.0.2.10:86400\n", "data")
+        record = tree.root.children[0]
+        assert record.get("prefix") == "="
+        assert record.name == "www.example.com"
+        assert record.get("fields") == ["192.0.2.10", "86400"]
+
+    def test_empty_field_preserved(self):
+        text = ".example.com::ns1.example.com:259200\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_comments_and_blank_lines(self):
+        text = "# comment\n\n+a.example.com:192.0.2.1\n"
+        assert self.dialect.roundtrip(text) == text
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("?bogus:1\n", "data")
+
+    def test_missing_fqdn_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("=:192.0.2.1\n", "data")
+
+    def test_default_data_roundtrips(self):
+        assert self.dialect.roundtrip(DEFAULT_TINYDNS_DATA) == DEFAULT_TINYDNS_DATA
+
+    def test_serialize_rejects_unknown_prefix(self):
+        tree = self.dialect.parse("+a.example.com:192.0.2.1\n", "data")
+        tree.root.children[0].attrs["prefix"] = "?"
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+
+class TestXmlConfDialect:
+    dialect = XmlConfDialect()
+    SAMPLE = "<server>\n  <port>8080</port>\n  <host name=\"public\">0.0.0.0</host>\n</server>"
+
+    def test_elements_and_attributes(self):
+        tree = self.dialect.parse(self.SAMPLE, "server.xml")
+        server = tree.root.children[0]
+        assert server.name == "server"
+        host = server.children[1]
+        assert host.get("xml:name") == "public"
+        assert host.value == "0.0.0.0"
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(ParseError):
+            self.dialect.parse("<a><b></a>", "broken.xml")
+
+    def test_roundtrip_preserves_structure(self):
+        tree = self.dialect.parse(self.SAMPLE, "server.xml")
+        text = self.dialect.serialize(tree)
+        reparsed = self.dialect.parse(text, "server.xml")
+        assert reparsed.root.structurally_equal(tree.root)
+
+    def test_serialize_requires_single_root_element(self):
+        tree = self.dialect.parse(self.SAMPLE, "server.xml")
+        tree.root.append(ConfigNode("element", "second"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+    def test_serialize_rejects_non_element_nodes(self):
+        tree = self.dialect.parse(self.SAMPLE, "server.xml")
+        tree.root.children[0].append(ConfigNode("directive", "x"))
+        with pytest.raises(SerializationError):
+            self.dialect.serialize(tree)
+
+    def test_mutated_value_is_serialised(self):
+        tree = self.dialect.parse(self.SAMPLE, "server.xml")
+        tree.root.children[0].children[0].value = "9090"
+        assert "<port>9090</port>" in self.dialect.serialize(tree)

@@ -1,0 +1,152 @@
+"""Unit tests for the DNS semantic-errors plugin and the constraint-violation plugin."""
+
+import random
+
+import pytest
+
+from repro.core.infoset import ConfigSet
+from repro.core.views.dns_view import VIEW_TREE_NAME
+from repro.errors import PluginError
+from repro.parsers.base import get_dialect
+from repro.plugins.semantic_db import ConstraintSpec, ConstraintViolationPlugin
+from repro.plugins.semantic_dns import FAULT_CLASSES, DnsSemanticErrorsPlugin
+from repro.sut.dns.bind_server import DEFAULT_FORWARD_ZONE, DEFAULT_REVERSE_ZONE
+
+
+@pytest.fixture
+def zone_set() -> ConfigSet:
+    dialect = get_dialect("bindzone")
+    return ConfigSet(
+        [
+            dialect.parse(DEFAULT_FORWARD_ZONE, "example.com.zone"),
+            dialect.parse(DEFAULT_REVERSE_ZONE, "192.0.2.rev"),
+        ]
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(13)
+
+
+class TestDnsSemanticErrorsPlugin:
+    def test_all_fault_classes_generate_scenarios(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin()
+        scenarios = plugin.generate(plugin.view.transform(zone_set), rng)
+        categories = {s.category for s in scenarios}
+        assert categories == {f"semantic-{c}" for c in FAULT_CLASSES}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(PluginError):
+            DnsSemanticErrorsPlugin(classes=["rebind-the-root"])
+
+    def test_missing_ptr_deletes_a_ptr_record(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["missing-ptr"])
+        view_set = plugin.view.transform(zone_set)
+        before = len(
+            [
+                n
+                for n in view_set.get(VIEW_TREE_NAME).root.children_of_kind("dns-record")
+                if n.get("rtype") == "PTR"
+            ]
+        )
+        scenario = plugin.generate(view_set, rng)[0]
+        mutated = scenario.apply(view_set)
+        after = len(
+            [
+                n
+                for n in mutated.get(VIEW_TREE_NAME).root.children_of_kind("dns-record")
+                if n.get("rtype") == "PTR"
+            ]
+        )
+        assert after == before - 1
+
+    def test_ptr_to_cname_targets_an_existing_alias(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["ptr-to-cname"])
+        view_set = plugin.view.transform(zone_set)
+        scenarios = plugin.generate(view_set, rng)
+        aliases = {"webmail.example.com", "ftp.example.com", "docs.example.com"}
+        assert scenarios and all(s.metadata["alias"] in aliases for s in scenarios)
+
+    def test_ns_cname_clash_adds_cname_on_ns_owner(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["ns-cname-clash"])
+        view_set = plugin.view.transform(zone_set)
+        scenario = plugin.generate(view_set, rng)[0]
+        mutated = scenario.apply(view_set)
+        records = mutated.get(VIEW_TREE_NAME).root.children_of_kind("dns-record")
+        owner = scenario.metadata["owner"]
+        types_for_owner = {r.get("rtype") for r in records if r.name == owner}
+        assert "CNAME" in types_for_owner and "NS" in types_for_owner
+
+    def test_mx_to_cname_changes_mx_target(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["mx-to-cname"])
+        view_set = plugin.view.transform(zone_set)
+        scenario = plugin.generate(view_set, rng)[0]
+        mutated = scenario.apply(view_set)
+        mx = [
+            r
+            for r in mutated.get(VIEW_TREE_NAME).root.children_of_kind("dns-record")
+            if r.get("rtype") == "MX"
+        ]
+        assert mx[0].value == scenario.metadata["alias"]
+
+    def test_cname_for_address_replaces_a_record(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["cname-for-address"])
+        view_set = plugin.view.transform(zone_set)
+        scenario = plugin.generate(view_set, rng)[0]
+        mutated = scenario.apply(view_set)
+        records = mutated.get(VIEW_TREE_NAME).root.children_of_kind("dns-record")
+        owner = scenario.metadata["owner"]
+        assert not any(r.name == owner and r.get("rtype") == "A" for r in records)
+        assert any(r.name == owner and r.get("rtype") == "CNAME" for r in records)
+
+    def test_max_scenarios_per_class(self, zone_set, rng):
+        plugin = DnsSemanticErrorsPlugin(classes=["missing-ptr"], max_scenarios_per_class=2)
+        assert len(plugin.generate(plugin.view.transform(zone_set), rng)) == 2
+
+    def test_requires_record_view(self, rng):
+        plugin = DnsSemanticErrorsPlugin()
+        with pytest.raises(PluginError):
+            plugin.generate(ConfigSet(), rng)
+
+
+class TestConstraintViolationPlugin:
+    CONSTRAINTS = [
+        ConstraintSpec(
+            name="fsm-pages",
+            directive="max_fsm_pages",
+            related_directive="max_fsm_relations",
+            description="max_fsm_pages >= 16 * max_fsm_relations",
+            violating_value=lambda current, related: str(int(related or "1000") * 16 - 100),
+        ),
+        ConstraintSpec(
+            name="absent-target",
+            directive="nonexistent_setting",
+            related_directive="max_fsm_relations",
+            description="never generated",
+            violating_value=lambda current, related: "0",
+        ),
+    ]
+
+    @pytest.fixture
+    def pg_set(self) -> ConfigSet:
+        text = "max_fsm_pages = 153600\nmax_fsm_relations = 1000\n"
+        return ConfigSet([get_dialect("pgconf").parse(text, "postgresql.conf")])
+
+    def test_requires_constraints(self):
+        with pytest.raises(PluginError):
+            ConstraintViolationPlugin([])
+
+    def test_generates_violation_for_present_directive_only(self, pg_set, rng):
+        plugin = ConstraintViolationPlugin(self.CONSTRAINTS)
+        scenarios = plugin.generate(plugin.view.transform(pg_set), rng)
+        assert len(scenarios) == 1
+        assert scenarios[0].metadata["constraint"] == "fsm-pages"
+
+    def test_violating_value_breaks_the_relation(self, pg_set, rng):
+        plugin = ConstraintViolationPlugin(self.CONSTRAINTS[:1])
+        view_set = plugin.view.transform(pg_set)
+        scenario = plugin.generate(view_set, rng)[0]
+        mutated = scenario.apply(view_set)
+        directives = {n.name: n.value for n in mutated.get("postgresql.conf").walk() if n.kind == "directive"}
+        assert int(directives["max_fsm_pages"]) < 16 * int(directives["max_fsm_relations"])

@@ -1,0 +1,167 @@
+"""Unit tests for the simulated Apache server, including the Section 5.2 findings."""
+
+import pytest
+
+from repro.sut.apache import SimulatedApache
+from repro.sut.apache.directives import APACHE_DIRECTIVES, DEFAULT_HTTPD_CONF
+
+
+def start_with(text: str) -> tuple[SimulatedApache, object]:
+    sut = SimulatedApache()
+    return sut, sut.start({"httpd.conf": text})
+
+
+class TestDirectiveTable:
+    def test_every_default_directive_is_known(self):
+        from repro.parsers.base import get_dialect
+
+        tree = get_dialect("apache").parse(DEFAULT_HTTPD_CONF, "httpd.conf")
+        for node in tree.find_all(lambda n: n.kind == "directive"):
+            assert node.name.lower() in APACHE_DIRECTIVES, node.name
+
+    def test_lax_directives_are_freeform_by_design(self):
+        for name in ("AddType", "DefaultType", "ServerAdmin", "ServerName"):
+            assert APACHE_DIRECTIVES[name.lower()].kind == "freeform"
+
+
+class TestStartupBehaviour:
+    def test_default_configuration_starts_and_serves(self):
+        sut = SimulatedApache()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert 80 in sut.listen_ports
+        status, body = sut.http_get("/index.html", port=80)
+        assert status == 200 and "It works" in body
+
+    def test_unknown_directive_detected(self):
+        _sut, result = start_with("Lisden 80\nDocumentRoot /srv\n")
+        assert not result.started
+        assert "Invalid command" in result.errors[0]
+
+    def test_mixed_case_directive_accepted(self):
+        # Paper Table 2: Apache directive names are case-insensitive.
+        sut, result = start_with("LISTEN 80\nDocumentRoot /srv\n")
+        assert result.started
+
+    def test_truncated_directive_rejected(self):
+        # Paper Table 2: truncated names are not accepted.
+        _sut, result = start_with("Listen 80\nDocumentRo /srv\n")
+        assert not result.started
+
+    def test_numeric_argument_validation(self):
+        _sut, result = start_with("Listen 80\nTimeout twelve\n")
+        assert not result.started
+
+    def test_port_typo_with_letters_detected(self):
+        _sut, result = start_with("Listen 8o\nDocumentRoot /srv\n")
+        assert not result.started
+
+    def test_port_typo_to_other_valid_port_not_detected_at_startup(self):
+        # The HTTP functional check is what catches this (paper: 5% of typos
+        # detected by functional tests, mostly listening-port mistakes).
+        sut, result = start_with("Listen 800\nDocumentRoot /srv\n")
+        assert result.started
+        with pytest.raises(ConnectionRefusedError):
+            sut.http_get("/", port=80)
+        failures = [t for t in sut.functional_tests() if not t.run(sut).passed]
+        assert failures
+
+    def test_flaw_addtype_accepts_freeform(self):
+        # Paper Section 5.2: AddType/DefaultType accept strings that are not
+        # RFC-2045 type/subtype pairs.
+        _sut, result = start_with("Listen 80\nDocumentRoot /srv\nAddType not-a-mime .x\n")
+        assert result.started
+
+    def test_flaw_serveradmin_and_servername_accept_freeform(self):
+        _sut, result = start_with(
+            "Listen 80\nDocumentRoot /srv\nServerAdmin not an email\nServerName @@@\n"
+        )
+        assert result.started
+
+    def test_onoff_validation(self):
+        _sut, result = start_with("Listen 80\nKeepAlive Sometimes\n")
+        assert not result.started
+
+    def test_enum_validation_loglevel(self):
+        _sut, result = start_with("Listen 80\nLogLevel noisy\n")
+        assert not result.started
+
+    def test_options_keywords_validated(self):
+        _sut, result = start_with("Listen 80\n<Directory />\nOptions Indexxes\n</Directory>\n")
+        assert not result.started
+
+    def test_order_directive_validated(self):
+        _sut, result = start_with("Listen 80\n<Directory />\nOrder allow;deny\n</Directory>\n")
+        assert not result.started
+
+    def test_allow_requires_from(self):
+        _sut, result = start_with("Listen 80\n<Directory />\nAllow all\n</Directory>\n")
+        assert not result.started
+
+    def test_unknown_section_detected(self):
+        _sut, result = start_with("Listen 80\n<Bogus>\nListen 81\n</Bogus>\n")
+        assert not result.started
+
+    def test_directive_without_required_argument_detected(self):
+        _sut, result = start_with("Listen 80\nDocumentRoot\n")
+        assert not result.started
+
+    def test_no_listen_directive_detected(self):
+        _sut, result = start_with("DocumentRoot /srv\n")
+        assert not result.started
+
+    def test_virtualhost_without_servername_only_warns(self):
+        sut, result = start_with(
+            "Listen 80\nDocumentRoot /srv\n<VirtualHost *:80>\nDocumentRoot /srv/vhost\n</VirtualHost>\n"
+        )
+        assert result.started
+        assert any("ServerName" in warning for warning in result.warnings)
+
+    def test_duplicate_listen_keeps_both_ports(self):
+        sut, result = start_with("Listen 80\nListen 8080\nDocumentRoot /srv\n")
+        assert result.started
+        assert sut.listen_ports == [80, 8080]
+        assert sut.http_get("/", port=8080)[0] == 200
+
+    def test_http_get_requires_running_server(self):
+        sut = SimulatedApache()
+        with pytest.raises(ConnectionRefusedError):
+            sut.http_get("/")
+
+    def test_http_get_without_document_root(self):
+        sut, result = start_with("Listen 80\n")
+        assert result.started
+        assert sut.http_get("/")[0] == 404
+
+    def test_missing_file_detected(self):
+        assert not SimulatedApache().start({}).started
+
+    def test_errors_inside_inactive_ifmodule_blocks_stay_latent(self):
+        # Apache never parses the body of an <IfModule> whose module is not
+        # loaded, so even a misspelled directive there goes unnoticed.
+        _sut, result = start_with(
+            "Listen 80\nDocumentRoot /srv\n"
+            "<IfModule mod_not_loaded.c>\nTotallyBogusDirective 1\n</IfModule>\n"
+        )
+        assert result.started
+
+    def test_errors_inside_active_ifmodule_blocks_are_checked(self):
+        _sut, result = start_with(
+            "Listen 80\nDocumentRoot /srv\n"
+            "LoadModule mime_module modules/mod_mime.so\n"
+            "<IfModule mod_mime.c>\nTotallyBogusDirective 1\n</IfModule>\n"
+        )
+        assert not result.started
+
+    def test_negated_ifmodule_guard(self):
+        _sut, result = start_with(
+            "Listen 80\nDocumentRoot /srv\n"
+            "<IfModule !mod_not_loaded.c>\nTimeout twelve\n</IfModule>\n"
+        )
+        assert not result.started
+
+    def test_stop_clears_state(self):
+        sut = SimulatedApache()
+        sut.start(sut.default_configuration())
+        sut.stop()
+        assert not sut.is_running()

@@ -1,0 +1,189 @@
+"""Unit tests for the simulated BIND and djbdns servers (Section 5.4 behaviours)."""
+
+import pytest
+
+from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
+from repro.sut.dns.bind_server import (
+    DEFAULT_FORWARD_ZONE,
+    DEFAULT_NAMED_CONF,
+    DEFAULT_REVERSE_ZONE,
+)
+from repro.sut.dns.djbdns_server import DEFAULT_TINYDNS_DATA
+from repro.sut.dns.zonedata import records_from_files
+
+
+class TestZoneData:
+    def test_records_from_files_collects_both_dialects(self):
+        bind_records = records_from_files(
+            {"fwd": DEFAULT_FORWARD_ZONE, "rev": DEFAULT_REVERSE_ZONE},
+            {"fwd": "bindzone", "rev": "bindzone"},
+        )
+        tiny_records = records_from_files({"data": DEFAULT_TINYDNS_DATA}, {"data": "tinydns"})
+        for records in (bind_records, tiny_records):
+            assert records.has("www.example.com", "A", "192.0.2.10")
+            assert records.has("example.com", "MX")
+            assert records.has("10.2.0.192.in-addr.arpa", "PTR", "www.example.com")
+
+    def test_bind_and_djbdns_publish_equivalent_host_data(self):
+        bind_records = records_from_files(
+            {"fwd": DEFAULT_FORWARD_ZONE, "rev": DEFAULT_REVERSE_ZONE},
+            {"fwd": "bindzone", "rev": "bindzone"},
+        )
+        tiny_records = records_from_files({"data": DEFAULT_TINYDNS_DATA}, {"data": "tinydns"})
+        bind_a = {(r.name, r.value) for r in bind_records.records(rtype="A")}
+        tiny_a = {(r.name, r.value) for r in tiny_records.records(rtype="A")}
+        assert bind_a == tiny_a
+        bind_cname = {(r.name, r.value) for r in bind_records.records(rtype="CNAME")}
+        tiny_cname = {(r.name, r.value) for r in tiny_records.records(rtype="CNAME")}
+        assert bind_cname == tiny_cname
+
+
+class TestSimulatedBIND:
+    def test_default_configuration_starts(self):
+        sut = SimulatedBIND()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert set(sut.zones) == {"example.com", "2.0.192.in-addr.arpa"}
+
+    def test_queries_forward_and_reverse(self):
+        sut = SimulatedBIND()
+        sut.start(sut.default_configuration())
+        assert sut.query("www.example.com", "A")[0].value == "192.0.2.10"
+        assert sut.query("10.2.0.192.in-addr.arpa", "PTR")[0].value == "www.example.com"
+        assert sut.query("example.com", "SOA")
+        assert sut.query("missing.example.com", "A") == []
+
+    def test_functional_suite_checks_both_zones(self):
+        sut = SimulatedBIND()
+        sut.start(sut.default_configuration())
+        assert all(test.run(sut).passed for test in sut.functional_tests())
+
+    def test_missing_named_conf_detected(self):
+        assert not SimulatedBIND().start({}).started
+
+    def test_missing_zone_file_detected(self):
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        del files["example.com.zone"]
+        assert not sut.start(files).started
+
+    def test_zone_without_soa_detected(self):
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["example.com.zone"] = files["example.com.zone"].replace(
+            "@\tIN\tSOA\tns1.example.com. hostmaster.example.com. 2008010101 3600 900 604800 86400\n", ""
+        )
+        result = sut.start(files)
+        assert not result.started and "SOA" in result.errors[0]
+
+    def test_cname_clash_detected(self):
+        # Table 3, fault 3: a name owning both NS and CNAME records is refused.
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["example.com.zone"] += "@\tIN\tCNAME\twww.example.com.\n"
+        result = sut.start(files)
+        assert not result.started
+        assert any("CNAME and other data" in error for error in result.errors)
+
+    def test_mx_to_cname_detected(self):
+        # Table 3, fault 4: an MX pointing at an alias is refused.
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["example.com.zone"] = files["example.com.zone"].replace(
+            "@\tIN\tMX\t10 mail.example.com.", "@\tIN\tMX\t10 ftp.example.com."
+        )
+        result = sut.start(files)
+        assert not result.started
+        assert any("CNAME" in error for error in result.errors)
+
+    def test_missing_ptr_not_detected(self):
+        # Table 3, fault 1: BIND loads fine and the zone-level checks pass.
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["192.0.2.rev"] = files["192.0.2.rev"].replace(
+            "10\tIN\tPTR\twww.example.com.\n", ""
+        )
+        result = sut.start(files)
+        assert result.started
+        assert all(test.run(sut).passed for test in sut.functional_tests())
+
+    def test_ptr_to_cname_not_detected(self):
+        # Table 3, fault 2: a PTR pointing at an alias in another zone loads fine.
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["192.0.2.rev"] = files["192.0.2.rev"].replace(
+            "10\tIN\tPTR\twww.example.com.", "10\tIN\tPTR\tftp.example.com."
+        )
+        assert sut.start(files).started
+
+    def test_named_conf_without_zones_detected(self):
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["named.conf"] = 'options {\n    recursion no;\n};\n'
+        assert not sut.start(files).started
+
+    def test_zone_without_file_directive_detected(self):
+        sut = SimulatedBIND()
+        files = sut.default_configuration()
+        files["named.conf"] = 'zone "example.com" {\n    type master;\n};\n'
+        assert not sut.start(files).started
+
+    def test_query_requires_running_server(self):
+        with pytest.raises(RuntimeError):
+            SimulatedBIND().query("example.com", "SOA")
+
+
+class TestSimulatedDjbdns:
+    def test_default_configuration_starts(self):
+        sut = SimulatedDjbdns()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert len(sut.records) > 0
+
+    def test_queries_forward_and_reverse(self):
+        sut = SimulatedDjbdns()
+        sut.start(sut.default_configuration())
+        assert sut.query("www.example.com", "A")[0].value == "192.0.2.10"
+        assert sut.query("10.2.0.192.in-addr.arpa", "PTR")[0].value == "www.example.com"
+        assert all(test.run(sut).passed for test in sut.functional_tests())
+
+    def test_no_cross_record_checks(self):
+        # Table 3, faults 3 and 4: djbdns serves inconsistent data silently.
+        sut = SimulatedDjbdns()
+        data = DEFAULT_TINYDNS_DATA + "Cexample.com:www.example.com:86400\n"
+        assert sut.start({"data": data}).started
+        sut2 = SimulatedDjbdns()
+        data2 = DEFAULT_TINYDNS_DATA.replace(
+            "@example.com::mail.example.com:10:86400", "@example.com::ftp.example.com:10:86400"
+        )
+        assert sut2.start({"data": data2}).started
+
+    def test_bad_ip_detected(self):
+        sut = SimulatedDjbdns()
+        assert not sut.start({"data": "=www.example.com:192.0.2.999:86400\n"}).started
+
+    def test_bad_mx_distance_detected(self):
+        sut = SimulatedDjbdns()
+        assert not sut.start({"data": "@example.com::mail.example.com:ten:86400\n"}).started
+
+    def test_bad_generic_type_detected(self):
+        sut = SimulatedDjbdns()
+        assert not sut.start({"data": ":www.example.com:x13:INTEL:86400\n"}).started
+
+    def test_unknown_selector_detected(self):
+        sut = SimulatedDjbdns()
+        assert not sut.start({"data": "?www.example.com:whatever\n"}).started
+
+    def test_missing_data_file_detected(self):
+        assert not SimulatedDjbdns().start({}).started
+
+    def test_query_requires_running_server(self):
+        with pytest.raises(RuntimeError):
+            SimulatedDjbdns().query("example.com", "SOA")
+
+    def test_stop_clears_state(self):
+        sut = SimulatedDjbdns()
+        sut.start(sut.default_configuration())
+        sut.stop()
+        assert not sut.is_running()
+        assert len(sut.records) == 0

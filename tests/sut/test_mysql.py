@@ -1,0 +1,177 @@
+"""Unit tests for the simulated MySQL server, including the paper's Section 5.2 findings."""
+
+import pytest
+
+from repro.sut.mysql import SimulatedMySQL
+from repro.sut.mysql.options import DEFAULT_MY_CNF, DEFAULT_MY_CNF_SERVER_ONLY, MYSQLD_OPTIONS
+from repro.sut.mysql.server import MySqlValueError, parse_mysql_numeric
+
+
+def start_with(mysqld_lines: str) -> tuple[SimulatedMySQL, object]:
+    sut = SimulatedMySQL()
+    files = {"my.cnf": "[mysqld]\n" + mysqld_lines}
+    return sut, sut.start(files)
+
+
+class TestNumericParsing:
+    spec = MYSQLD_OPTIONS.get("key_buffer_size")
+
+    def test_plain_number(self):
+        value, warnings = parse_mysql_numeric("1024", self.spec)
+        assert value == 1024 and warnings == []
+
+    def test_multiplier_suffixes(self):
+        assert parse_mysql_numeric("16K", self.spec)[0] == 16 * 1024
+        assert parse_mysql_numeric("16M", self.spec)[0] == 16 * 1024**2
+        assert parse_mysql_numeric("1g", self.spec)[0] == 1024**3
+
+    def test_flaw_characters_after_multiplier_ignored(self):
+        # Paper Section 5.2: "1M0" is accepted as if it were 1M.
+        value, warnings = parse_mysql_numeric("1M0", self.spec)
+        assert value == 1024**2
+        assert warnings
+
+    def test_flaw_value_starting_with_multiplier_uses_default(self):
+        value, warnings = parse_mysql_numeric("M16", self.spec)
+        assert value is None and warnings
+
+    def test_flaw_out_of_bounds_silently_adjusted(self):
+        # Paper Section 5.2: key_buffer_size=1 accepted although the minimum is 8.
+        value, warnings = parse_mysql_numeric("1", self.spec)
+        assert value == 8
+        assert any("out of bounds" in w for w in warnings)
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(MySqlValueError):
+            parse_mysql_numeric("33o6", self.spec)
+
+
+class TestStartupBehaviour:
+    def test_default_configuration_starts_and_serves(self):
+        sut = SimulatedMySQL()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert sut.is_running()
+        connection = sut.connect()
+        connection.execute("CREATE DATABASE d")
+        connection.close()
+        sut.stop()
+        assert not sut.is_running()
+
+    def test_server_only_default_has_expected_settings(self):
+        sut = SimulatedMySQL(default_config=DEFAULT_MY_CNF_SERVER_ONLY)
+        assert sut.start(sut.default_configuration()).started
+        assert sut.effective_settings["key_buffer_size"] == 16 * 1024**2
+        assert sut.effective_settings["max_connections"] == 100
+
+    def test_unknown_directive_detected(self):
+        _sut, result = start_with("prot = 3306\n")
+        assert not result.started
+        assert "unknown variable" in result.errors[0]
+
+    def test_mixed_case_directive_rejected(self):
+        # Paper Table 2: MySQL does not accept mixed-case directive names.
+        _sut, result = start_with("Port = 3306\n")
+        assert not result.started
+
+    def test_unambiguous_prefix_accepted(self):
+        # Paper Table 2: MySQL accepts truncated (unambiguous) directive names.
+        sut, result = start_with("max_conn = 42\n")
+        assert result.started
+        assert sut.effective_settings["max_connections"] == 42
+
+    def test_ambiguous_prefix_rejected(self):
+        _sut, result = start_with("read_ = 8192\n")
+        assert not result.started
+
+    def test_dash_underscore_equivalence(self):
+        sut, result = start_with("key-buffer-size = 32M\n")
+        assert result.started
+        assert sut.effective_settings["key_buffer_size"] == 32 * 1024**2
+
+    def test_flaw_directive_without_value_accepted(self):
+        # Paper Section 5.2: valued directives written without a value are accepted.
+        sut, result = start_with("key_buffer_size\n")
+        assert result.started
+        assert any("no value" in w for w in result.warnings)
+
+    def test_flaw_out_of_bounds_value_accepted(self):
+        sut, result = start_with("key_buffer_size = 1\n")
+        assert result.started
+        assert sut.effective_settings["key_buffer_size"] == 8
+
+    def test_flaw_multiplier_typo_accepted(self):
+        sut, result = start_with("max_allowed_packet = 1M0\n")
+        assert result.started
+
+    def test_unknown_suffix_detected_at_startup(self):
+        _sut, result = start_with("port = 3o306\n")
+        assert not result.started
+
+    def test_bool_option_with_invalid_value_detected(self):
+        _sut, result = start_with("skip-external-locking = maybe\n")
+        assert not result.started
+
+    def test_flag_option_accepts_on_off(self):
+        sut, result = start_with("skip-external-locking = ON\n")
+        assert result.started
+        assert sut.effective_settings["skip_external_locking"] is True
+
+    def test_enum_option_validation(self):
+        _sut, bad = start_with("default-storage-engine = InnoDBB\n")
+        assert not bad.started
+        sut, good = start_with("default-storage-engine = innodb\n")
+        assert good.started
+        assert sut.effective_settings["default_storage_engine"] == "InnoDB"
+
+    def test_string_values_accepted_verbatim(self):
+        sut, result = start_with("bind-address = not!an!address\n")
+        assert result.started
+
+    def test_duplicate_directive_last_one_wins(self):
+        sut, result = start_with("port = 3306\nport = 3307\n")
+        assert result.started
+        assert sut.effective_settings["port"] == 3307
+
+    def test_missing_config_file(self):
+        sut = SimulatedMySQL()
+        assert not sut.start({}).started
+
+    def test_unparseable_file_detected(self):
+        sut = SimulatedMySQL()
+        result = sut.start({"my.cnf": "[mysqld\nport = 3306\n"})
+        # an unterminated section header falls back to a directive-style line
+        # with an illegal name, which the server rejects
+        assert not result.started
+
+    def test_flaw_shared_file_sections_not_parsed_at_startup(self):
+        # Paper Section 5.2: errors in auxiliary-tool groups stay undetected
+        # when the server starts...
+        sut = SimulatedMySQL()
+        files = {"my.cnf": DEFAULT_MY_CNF.replace("[mysqldump]\nquick", "[mysqldump]\nqiuck")}
+        assert sut.start(files).started
+        # ...and only surface when the corresponding tool parses its group.
+        problems = sut.check_auxiliary_tools(files)
+        assert not problems.get("mysqldump")  # mysqldump options are not modelled strictly
+        client_files = {"my.cnf": DEFAULT_MY_CNF.replace("[client]\nport", "[client]\npodt")}
+        assert sut.start(client_files).started
+        assert "client" in sut.check_auxiliary_tools(client_files)
+
+    def test_unknown_section_ignored(self):
+        sut = SimulatedMySQL()
+        files = {"my.cnf": "[mysqld]\nport = 3306\n[borrowed_app]\nwhatever = 1\n"}
+        assert sut.start(files).started
+
+    def test_max_connections_drives_engine_admission(self):
+        sut, result = start_with("max_connections = 1\n")
+        assert result.started
+        first = sut.connect()
+        with pytest.raises(Exception):
+            sut.connect()
+        first.close()
+
+    def test_dialect_and_default_configuration(self):
+        sut = SimulatedMySQL()
+        assert sut.dialect_for("my.cnf") == "ini"
+        assert "my.cnf" in sut.default_configuration()
+        assert len(sut.functional_tests()) == 1

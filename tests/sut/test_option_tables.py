@@ -1,0 +1,123 @@
+"""Unit tests for the shared option-table machinery and the SUT option tables."""
+
+import pytest
+
+from repro.sut.mysql.options import AUXILIARY_SECTIONS, CLIENT_OPTIONS, MYSQLD_OPTIONS
+from repro.sut.options import OptionSpec, OptionTable
+from repro.sut.postgres.options import CROSS_CONSTRAINTS, POSTGRES_OPTIONS
+
+
+class TestOptionTable:
+    table = OptionTable(
+        [
+            OptionSpec("max_connections", "int", default="100", minimum=1, maximum=1000),
+            OptionSpec("max_allowed_packet", "size", default="1M"),
+            OptionSpec("skip-networking", "bool", flag=True),
+            OptionSpec("datadir", "path", default="/var/lib/data"),
+        ]
+    )
+
+    def test_len_iteration_and_names(self):
+        assert len(self.table) == 4
+        assert len(list(self.table)) == 4
+        assert "max_connections" in self.table.names()
+        assert "skip_networking" in self.table.names()  # canonicalised
+
+    def test_get_folds_case_and_dashes(self):
+        assert self.table.get("MAX_CONNECTIONS").name == "max_connections"
+        assert self.table.get("skip_networking").flag is True
+        assert self.table.get("missing") is None
+
+    def test_case_sensitive_lookup(self):
+        assert self.table.get_case_sensitive("max_connections") is not None
+        assert self.table.get_case_sensitive("Max_Connections") is None
+        assert self.table.get_case_sensitive("nonexistent") is None
+
+    def test_prefix_matching(self):
+        assert [spec.name for spec in self.table.match_prefix("max_")] == [
+            "max_connections",
+            "max_allowed_packet",
+        ]
+        assert self.table.match_prefix("zzz") == []
+
+    def test_resolve_exact_beats_prefix(self):
+        assert self.table.resolve("max_connections").name == "max_connections"
+
+    def test_resolve_unique_prefix(self):
+        assert self.table.resolve("max_c", allow_prefix=True).name == "max_connections"
+        assert self.table.resolve("datad", allow_prefix=True).name == "datadir"
+
+    def test_resolve_ambiguous_prefix_fails(self):
+        assert self.table.resolve("max_", allow_prefix=True) is None
+
+    def test_resolve_without_prefix_matching(self):
+        assert self.table.resolve("max_c", allow_prefix=False) is None
+
+    def test_resolve_case_sensitivity_flag(self):
+        assert self.table.resolve("Max_Connections", case_sensitive=True) is None
+        assert self.table.resolve("Max_Connections", case_sensitive=False) is not None
+
+    def test_canonical_name(self):
+        assert OptionSpec("skip-name-resolve", "bool").canonical_name() == "skip_name_resolve"
+
+
+class TestMySqlOptionTable:
+    def test_paper_relevant_options_present(self):
+        for name in ("key_buffer_size", "max_allowed_packet", "max_connections", "port", "datadir"):
+            assert MYSQLD_OPTIONS.get(name) is not None, name
+
+    def test_key_buffer_size_minimum_is_eight(self):
+        # the paper's out-of-bounds example relies on this lower bound
+        assert MYSQLD_OPTIONS.get("key_buffer_size").minimum == 8
+
+    def test_numeric_options_have_bounds(self):
+        for spec in MYSQLD_OPTIONS:
+            if spec.kind in ("int", "size"):
+                assert spec.minimum is not None and spec.maximum is not None, spec.name
+
+    def test_client_table_is_separate(self):
+        assert CLIENT_OPTIONS.get("host") is not None
+        assert MYSQLD_OPTIONS.get("host") is None
+
+    def test_auxiliary_sections_listed(self):
+        assert {"client", "mysqldump", "myisamchk"} <= set(AUXILIARY_SECTIONS)
+        assert "mysqld" not in AUXILIARY_SECTIONS
+
+
+class TestPostgresOptionTable:
+    def test_paper_relevant_options_present(self):
+        for name in ("max_fsm_pages", "max_fsm_relations", "shared_buffers", "max_connections"):
+            assert POSTGRES_OPTIONS.get(name) is not None, name
+
+    def test_defaults_respect_declared_bounds(self):
+        from repro.sut.postgres.server import parse_postgres_value
+
+        for spec in POSTGRES_OPTIONS:
+            if spec.default is None or spec.kind in ("string", "path"):
+                continue
+            value = parse_postgres_value(spec.default, spec)
+            if spec.minimum is not None and isinstance(value, (int, float)):
+                assert value >= spec.minimum, spec.name
+            if spec.maximum is not None and isinstance(value, (int, float)):
+                assert value <= spec.maximum, spec.name
+
+    def test_cross_constraints_cover_the_paper_example(self):
+        names = {constraint.name for constraint in CROSS_CONSTRAINTS}
+        assert "fsm-pages-vs-relations" in names
+        fsm = next(c for c in CROSS_CONSTRAINTS if c.name == "fsm-pages-vs-relations")
+        assert fsm.check(153600, 1000) is True
+        assert fsm.check(15600, 1000) is False
+
+    def test_constraint_defaults_are_consistent(self):
+        from repro.sut.postgres.server import parse_postgres_value
+
+        values = {
+            spec.canonical_name(): parse_postgres_value(spec.default, spec)
+            for spec in POSTGRES_OPTIONS
+            if spec.default not in (None, "")
+        }
+        for constraint in CROSS_CONSTRAINTS:
+            if constraint.parameter in values and constraint.related in values:
+                assert constraint.check(
+                    float(values[constraint.parameter]), float(values[constraint.related])
+                ), constraint.name

@@ -1,0 +1,146 @@
+"""Unit tests for the simulated PostgreSQL server, including the Section 5.2 findings."""
+
+import pytest
+
+from repro.sut.options import OptionSpec
+from repro.sut.postgres import SimulatedPostgres
+from repro.sut.postgres.options import DEFAULT_POSTGRESQL_CONF, POSTGRES_OPTIONS
+from repro.sut.postgres.server import PostgresValueError, parse_postgres_value
+
+
+def start_with(lines: str) -> tuple[SimulatedPostgres, object]:
+    sut = SimulatedPostgres()
+    return sut, sut.start({"postgresql.conf": lines})
+
+
+class TestValueParsing:
+    def test_plain_integer(self):
+        assert parse_postgres_value("100", POSTGRES_OPTIONS.get("max_connections")) == 100
+
+    def test_memory_units(self):
+        spec = POSTGRES_OPTIONS.get("shared_buffers")
+        assert parse_postgres_value("32MB", spec) == 32 * 1024**2
+        assert parse_postgres_value("64kB", spec) == 64 * 1024
+
+    def test_time_units(self):
+        spec = POSTGRES_OPTIONS.get("checkpoint_timeout")
+        assert parse_postgres_value("5min", spec) == 300
+        assert parse_postgres_value("600", spec) == 600
+
+    def test_real_values(self):
+        assert parse_postgres_value("4.0", POSTGRES_OPTIONS.get("random_page_cost")) == pytest.approx(4.0)
+
+    def test_malformed_number_rejected(self):
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("1o0", POSTGRES_OPTIONS.get("max_connections"))
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("32XB", POSTGRES_OPTIONS.get("shared_buffers"))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("0", POSTGRES_OPTIONS.get("max_connections"))
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("99999999", POSTGRES_OPTIONS.get("port"))
+
+    def test_boolean_spellings(self):
+        spec = POSTGRES_OPTIONS.get("fsync")
+        assert parse_postgres_value("on", spec) is True
+        assert parse_postgres_value("FALSE", spec) is False
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("maybe", spec)
+
+    def test_enum_values(self):
+        spec = POSTGRES_OPTIONS.get("log_destination")
+        assert parse_postgres_value("syslog", spec) == "syslog"
+        with pytest.raises(PostgresValueError):
+            parse_postgres_value("sysLogg", spec)
+
+    def test_string_values_accepted(self):
+        assert parse_postgres_value("anything at all", OptionSpec("lc_messages", "string")) == "anything at all"
+
+
+class TestStartupBehaviour:
+    def test_default_configuration_starts(self):
+        sut = SimulatedPostgres()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert sut.effective_settings["max_connections"] == 100
+        assert sut.effective_settings["shared_buffers"] == 32 * 1024**2
+
+    def test_default_configuration_has_eight_directives(self):
+        assert sum(
+            1
+            for line in DEFAULT_POSTGRESQL_CONF.splitlines()
+            if line and not line.startswith("#")
+        ) == 8
+
+    def test_unknown_parameter_detected(self):
+        _sut, result = start_with("max_connectoins = 100\n")
+        assert not result.started
+        assert "unrecognized configuration parameter" in result.errors[0]
+
+    def test_mixed_case_parameter_accepted(self):
+        # Paper Table 2: Postgres accepts mixed-case directive names.
+        sut, result = start_with("MAX_Connections = 50\n")
+        assert result.started
+        assert sut.effective_settings["max_connections"] == 50
+
+    def test_truncated_parameter_rejected(self):
+        # Paper Table 2: Postgres does not accept truncated directive names.
+        _sut, result = start_with("max_conn = 50\n")
+        assert not result.started
+
+    def test_value_typos_detected(self):
+        for bad in ("1o0", "10x", "MB32"):
+            _sut, result = start_with(f"max_connections = {bad}\n")
+            assert not result.started, bad
+
+    def test_out_of_range_detected(self):
+        _sut, result = start_with("max_connections = 0\n")
+        assert not result.started
+
+    def test_missing_value_detected(self):
+        _sut, result = start_with("max_connections =\n")
+        assert not result.started
+
+    def test_fsm_constraint_from_paper(self):
+        # Paper Section 5.2: replacing 153600 with 15600 must abort startup
+        # because max_fsm_pages >= 16 * max_fsm_relations.
+        _sut, result = start_with("max_fsm_pages = 15600\nmax_fsm_relations = 1000\n")
+        assert not result.started
+        assert "max_fsm_pages" in result.errors[0]
+
+    def test_fsm_constraint_satisfied(self):
+        _sut, result = start_with("max_fsm_pages = 160000\nmax_fsm_relations = 10000\n")
+        assert result.started
+
+    def test_reserved_connections_constraint(self):
+        _sut, result = start_with("max_connections = 5\nsuperuser_reserved_connections = 5\n")
+        assert not result.started
+
+    def test_quoted_string_values(self):
+        sut, result = start_with("datestyle = 'iso, mdy'\nlc_messages = 'C'\n")
+        assert result.started
+        assert sut.effective_settings["datestyle"] == "iso, mdy"
+
+    def test_sections_are_a_syntax_error(self):
+        sut = SimulatedPostgres()
+        result = sut.start({"postgresql.conf": "[mysqld]\nport = 5432\n"})
+        assert not result.started
+
+    def test_missing_file_detected(self):
+        assert not SimulatedPostgres().start({}).started
+
+    def test_functional_suite_runs_against_started_server(self):
+        sut = SimulatedPostgres()
+        sut.start(sut.default_configuration())
+        results = [test.run(sut) for test in sut.functional_tests()]
+        assert all(r.passed for r in results)
+        sut.stop()
+        assert not sut.is_running()
+
+    def test_connect_requires_running_server(self):
+        with pytest.raises(RuntimeError):
+            SimulatedPostgres().connect()

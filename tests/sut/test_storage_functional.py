@@ -1,0 +1,153 @@
+"""Unit tests for the mini SQL engine and the functional test suites."""
+
+import pytest
+
+from repro.sut.base import StartResult
+from repro.sut.functional import (
+    DatabaseSmokeTest,
+    DnsZoneServiceTest,
+    HttpGetTest,
+    database_suite,
+    dns_suite,
+    web_suite,
+)
+from repro.sut.mysql import SimulatedMySQL
+from repro.sut.storage import MiniSqlEngine, SqlError
+
+
+class TestMiniSqlEngine:
+    def test_create_insert_select(self):
+        engine = MiniSqlEngine()
+        engine.execute("CREATE DATABASE shop")
+        engine.execute("CREATE TABLE items (id INT, label TEXT)")
+        engine.execute("INSERT INTO items VALUES (1, 'apple')")
+        engine.execute("INSERT INTO items VALUES (2, 'pear')")
+        assert engine.execute("SELECT * FROM items") == [(1, "apple"), (2, "pear")]
+
+    def test_select_with_projection_and_where(self):
+        engine = MiniSqlEngine()
+        engine.execute("CREATE DATABASE shop")
+        engine.execute("CREATE TABLE items (id INT, label TEXT)")
+        engine.execute("INSERT INTO items VALUES (1, 'apple')")
+        engine.execute("INSERT INTO items VALUES (2, 'pear')")
+        assert engine.execute("SELECT label FROM items WHERE id = 2") == [("pear",)]
+
+    def test_use_and_drop_database(self):
+        engine = MiniSqlEngine()
+        engine.execute("CREATE DATABASE a")
+        engine.execute("CREATE TABLE t (x INT)")
+        engine.execute("CREATE DATABASE b")
+        engine.execute("USE a")
+        assert engine.execute("SELECT * FROM t") == []
+        engine.execute("DROP DATABASE a")
+        with pytest.raises(SqlError):
+            engine.execute("SELECT * FROM t")
+
+    def test_errors(self):
+        engine = MiniSqlEngine()
+        with pytest.raises(SqlError):
+            engine.execute("CREATE TABLE t (x INT)")  # no database selected
+        engine.execute("CREATE DATABASE d")
+        engine.execute("CREATE TABLE t (x INT)")
+        with pytest.raises(SqlError):
+            engine.execute("CREATE TABLE t (x INT)")  # duplicate table
+        with pytest.raises(SqlError):
+            engine.execute("INSERT INTO missing VALUES (1)")
+        with pytest.raises(SqlError):
+            engine.execute("INSERT INTO t VALUES (1, 2)")  # column count mismatch
+        with pytest.raises(SqlError):
+            engine.execute("SELECT nope FROM t")
+        with pytest.raises(SqlError):
+            engine.execute("FROBNICATE EVERYTHING")
+
+    def test_connection_admission_control(self):
+        engine = MiniSqlEngine(max_connections=2)
+        first = engine.connect()
+        engine.connect()
+        with pytest.raises(SqlError):
+            engine.connect()
+        first.close()
+        engine.connect()  # slot freed
+        assert engine.open_connections == 2
+
+    def test_connection_close_is_idempotent(self):
+        engine = MiniSqlEngine(max_connections=1)
+        connection = engine.connect()
+        connection.close()
+        connection.close()
+        assert engine.open_connections == 0
+        with pytest.raises(SqlError):
+            connection.execute("CREATE DATABASE x")
+
+    def test_connection_context_manager(self):
+        engine = MiniSqlEngine(max_connections=1)
+        with engine.connect() as connection:
+            connection.execute("CREATE DATABASE x")
+        assert engine.open_connections == 0
+
+    def test_reset(self):
+        engine = MiniSqlEngine()
+        engine.execute("CREATE DATABASE x")
+        engine.reset()
+        with pytest.raises(SqlError):
+            engine.execute("USE x")
+
+
+class TestFunctionalSuites:
+    def test_database_smoke_test_passes_on_running_mysql(self):
+        sut = SimulatedMySQL()
+        assert sut.start(sut.default_configuration()).started
+        result = DatabaseSmokeTest().run(sut)
+        assert result.passed, result.detail
+
+    def test_database_smoke_test_fails_when_not_running(self):
+        sut = SimulatedMySQL()
+        result = DatabaseSmokeTest().run(sut)
+        assert not result.passed and "connect" in result.detail
+
+    def test_database_smoke_test_fails_when_connections_exhausted(self):
+        sut = SimulatedMySQL()
+        sut.start(sut.default_configuration())
+        sut._engine.max_connections = 0
+        assert not DatabaseSmokeTest().run(sut).passed
+
+    def test_http_get_test_against_dummy(self):
+        class Dummy:
+            def http_get(self, path, port=80, host="localhost"):
+                return 200, "<html>ok</html>"
+
+        assert HttpGetTest().run(Dummy()).passed
+
+    def test_http_get_test_reports_status_and_exceptions(self):
+        class NotFound:
+            def http_get(self, path, port=80, host="localhost"):
+                return 404, ""
+
+        class Refused:
+            def http_get(self, path, port=80, host="localhost"):
+                raise ConnectionRefusedError("nope")
+
+        assert not HttpGetTest().run(NotFound()).passed
+        assert not HttpGetTest().run(Refused()).passed
+
+    def test_dns_zone_service_test(self):
+        class FakeDns:
+            def query(self, name, rtype):
+                return ["answer"] if name == "example.com" else []
+
+        assert DnsZoneServiceTest("example.com").run(FakeDns()).passed
+        assert not DnsZoneServiceTest("other.org").run(FakeDns()).passed
+
+    def test_suite_builders(self):
+        assert len(database_suite()) == 1
+        assert len(web_suite()) == 1
+        suite = dns_suite("example.com", "2.0.192.in-addr.arpa")
+        assert [t.name for t in suite] == ["dns-forward-zone", "dns-reverse-zone"]
+
+
+class TestStartResult:
+    def test_ok_and_failed_constructors(self):
+        ok = StartResult.ok(["warning"])
+        assert ok.started and ok.warnings == ["warning"] and ok.errors == []
+        failed = StartResult.failed("bad", "worse")
+        assert not failed.started and failed.errors == ["bad", "worse"]

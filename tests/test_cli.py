@@ -1,0 +1,77 @@
+"""Tests for the ``conferr`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "oracle"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--system", "mysql"])
+        assert args.plugin == "spelling" and args.seed == 2008
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "mysql" in output and "spelling" in output and "bindzone" in output
+
+    def test_run_command_text_output(self, capsys):
+        assert main(["run", "--system", "postgres", "--plugin", "spelling"]) == 0
+        output = capsys.readouterr().out
+        assert "Resilience profile for Postgres" in output
+        assert "detection rate" in output
+
+    def test_run_command_json_output(self, capsys):
+        assert main(["run", "--system", "djbdns", "--plugin", "semantic-dns", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "djbdns"
+        assert payload["records"]
+
+    def test_run_with_structural_plugin_and_limit(self, capsys):
+        assert main(
+            ["run", "--system", "mysql", "--plugin", "structural", "--max-scenarios-per-class", "3"]
+        ) == 0
+        assert "Resilience profile for MySQL" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--variants-per-class", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Mixed-case directive names" in output
+
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        output = capsys.readouterr().out
+        assert "Missing PTR" in output and "djbdns" in output
+
+    def test_figure3_command(self, capsys):
+        assert main(["figure3", "--experiments-per-directive", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "excellent" in output
+        assert "Postgresql" in output
+
+    def test_run_with_output_then_report(self, capsys, tmp_path):
+        saved = tmp_path / "profile.json"
+        assert main(["run", "--system", "postgres", "--output", str(saved)]) == 0
+        capsys.readouterr()
+        assert saved.exists()
+        assert main(["report", str(saved)]) == 0
+        output = capsys.readouterr().out
+        assert "Resilience profile for Postgres" in output
+        assert "typo-" in output
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--typos-per-directive", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "# of Injected Errors" in output
