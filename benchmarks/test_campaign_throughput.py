@@ -1,0 +1,107 @@
+"""End-to-end campaign throughput: scenarios/second, parallel speedup, CoW.
+
+Three properties of the campaign executor are pinned here:
+
+1. **Parallel speedup** -- with paper-like per-experiment latency (server
+   start/stop dominates, Section 5.2), fanning a mixed typo+structural
+   campaign out to 4 workers is at least 2x faster than running it serially.
+2. **No per-scenario full-set clones** -- the apply/undo fast path must keep
+   the number of `ConfigSet.clone()` calls independent of the scenario
+   count (the clone counter on the infoset proves it).
+3. **The serial path beats the seed's clone-per-scenario path** -- measured
+   by materialising every scenario through both implementations.
+"""
+
+from functools import partial
+
+import time
+
+import pytest
+
+from repro.bench.timing import campaign_throughput
+from repro.core.engine import InjectionEngine
+from repro.core.infoset import CLONE_STATS
+from repro.plugins import SpellingMistakesPlugin, StructuralErrorsPlugin
+from repro.sut.apache import SimulatedApache
+from repro.sut.latency import LatencySUT
+from repro.sut.postgres import SimulatedPostgres
+
+from benchmarks.conftest import BENCH_SEED
+
+#: Modest stand-in for the paper's 1.1-6 s per-experiment server cost.
+START_LATENCY = 0.005
+
+
+def mixed_plugins():
+    """A full typo + structural campaign."""
+    return [
+        SpellingMistakesPlugin(mutations_per_token=2),
+        StructuralErrorsPlugin(),
+    ]
+
+
+def latency_postgres_factory():
+    """Picklable factory: Postgres wrapped with paper-like start latency."""
+    return partial(LatencySUT, SimulatedPostgres, start_latency=START_LATENCY)
+
+
+class TestCampaignThroughput:
+    def test_mixed_campaign_throughput_benchmark(self, run_once):
+        """Record end-to-end scenarios/sec for the serial executor."""
+        result = run_once(
+            campaign_throughput, SimulatedPostgres, mixed_plugins(), seed=BENCH_SEED, jobs=1
+        )
+        assert result.scenarios >= 40
+        assert result.scenarios_per_second > 0
+
+    def test_parallel_speedup_at_jobs4(self):
+        """jobs=4 threads >= 2x jobs=1 when experiment latency dominates."""
+        factory = latency_postgres_factory()
+        serial = campaign_throughput(factory, mixed_plugins(), seed=BENCH_SEED, jobs=1)
+        parallel = campaign_throughput(
+            factory, mixed_plugins(), seed=BENCH_SEED, jobs=4, executor="thread"
+        )
+        assert parallel.scenarios == serial.scenarios
+        speedup = parallel.scenarios_per_second / serial.scenarios_per_second
+        assert speedup >= 2.0, (
+            f"jobs=4 gave only {speedup:.2f}x "
+            f"({serial.scenarios_per_second:.0f} -> {parallel.scenarios_per_second:.0f} scn/s)"
+        )
+
+    def test_apply_undo_path_performs_no_full_set_clones(self):
+        """Full-set deep clones must not scale with the scenario count."""
+        CLONE_STATS.reset()
+        result = campaign_throughput(SimulatedPostgres, mixed_plugins(), seed=BENCH_SEED, jobs=1)
+        set_clones = CLONE_STATS.set_clones
+        assert result.scenarios >= 40
+        # a handful of per-campaign clones (view transform, baseline cache)
+        # are fine; anything proportional to the scenario count is not
+        assert set_clones < result.scenarios
+        assert set_clones <= 3 * len(mixed_plugins())
+
+    def test_serial_fast_path_beats_seed_clone_path(self):
+        """materialize() must outrun the seed's clone-per-scenario oracle."""
+        engine = InjectionEngine(
+            SimulatedApache, SpellingMistakesPlugin(mutations_per_token=2), seed=BENCH_SEED
+        )
+        config_set, view_set, scenarios = engine.generate_scenarios()
+        baseline = engine.baseline_files(config_set, view_set)
+        assert len(scenarios) >= 100
+
+        CLONE_STATS.reset()
+        started = time.perf_counter()
+        fast_files = [
+            engine.materialize(s, config_set, view_set, baseline_files=baseline)
+            for s in scenarios
+        ]
+        fast_seconds = time.perf_counter() - started
+        assert CLONE_STATS.set_clones == 0
+
+        started = time.perf_counter()
+        legacy_files = [engine.materialize_cloning(s, config_set, view_set) for s in scenarios]
+        legacy_seconds = time.perf_counter() - started
+
+        assert fast_files == legacy_files, "fast path must produce identical configurations"
+        assert fast_seconds < legacy_seconds, (
+            f"fast path {fast_seconds:.3f}s not faster than clone path {legacy_seconds:.3f}s"
+        )

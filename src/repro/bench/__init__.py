@@ -16,7 +16,7 @@ from repro.bench.table1 import Table1Result, run_table1
 from repro.bench.table2 import Table2Result, run_table2
 from repro.bench.table3 import Table3Result, run_table3
 from repro.bench.figure3 import Figure3Result, run_figure3
-from repro.bench.timing import time_single_injection
+from repro.bench.timing import ThroughputResult, campaign_throughput, time_single_injection
 
 __all__ = [
     "run_table1",
@@ -24,6 +24,8 @@ __all__ = [
     "run_table3",
     "run_figure3",
     "time_single_injection",
+    "campaign_throughput",
+    "ThroughputResult",
     "Table1Result",
     "Table2Result",
     "Table3Result",

@@ -18,14 +18,15 @@ the system detects.  Concretely (and as in the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import detection_distribution, render_distribution_chart
 from repro.core.views.token_view import TOKEN_DIRECTIVE_VALUE
-from repro.bench.workloads import comparison_suts
+from repro.bench.workloads import comparison_sut_factories
 from repro.plugins.spelling import SpellingMistakesPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["Figure3Result", "run_figure3", "run_figure3_for"]
 
@@ -45,19 +46,25 @@ class Figure3Result:
 
 
 def run_figure3_for(
-    sut: SystemUnderTest,
+    sut: SystemUnderTest | Callable[[], SystemUnderTest],
     seed: int = 2008,
     experiments_per_directive: int = 20,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> tuple[dict[str, float], ResilienceProfile]:
     """Run the comparison procedure for one system.
 
     Returns the per-directive detection rates and the full profile.
     """
+    sut, sut_factory = split_sut(sut)
     plugin = SpellingMistakesPlugin(
         token_types=(TOKEN_DIRECTIVE_VALUE,),
         mutations_per_token=experiments_per_directive,
     )
-    profile = InjectionEngine(sut, plugin, seed=seed).run()
+    engine = InjectionEngine(
+        sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+    )
+    profile = engine.run()
 
     rates: dict[str, float] = {}
     for directive, sub_profile in profile.by_metadata("directive").items():
@@ -73,16 +80,22 @@ def run_figure3_for(
 def run_figure3(
     seed: int = 2008,
     experiments_per_directive: int = 20,
-    systems: dict[str, SystemUnderTest] | None = None,
+    systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> Figure3Result:
     """Run the Figure 3 comparison for MySQL and Postgres."""
-    suts = systems if systems is not None else comparison_suts()
+    suts = systems if systems is not None else comparison_sut_factories()
     per_directive_rates: dict[str, dict[str, float]] = {}
     distributions: dict[str, dict[str, float]] = {}
     profiles: dict[str, ResilienceProfile] = {}
     for name, sut in suts.items():
         rates, profile = run_figure3_for(
-            sut, seed=seed, experiments_per_directive=experiments_per_directive
+            sut,
+            seed=seed,
+            experiments_per_directive=experiments_per_directive,
+            jobs=jobs,
+            executor=executor,
         )
         per_directive_rates[name] = rates
         distributions[name] = detection_distribution(rates)

@@ -17,15 +17,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import typo_resilience_table
 from repro.core.views.token_view import TOKEN_DIRECTIVE_NAME, TOKEN_DIRECTIVE_VALUE, TokenView
-from repro.bench.workloads import typo_benchmark_suts
+from repro.bench.workloads import typo_benchmark_sut_factories
 from repro.plugins.spelling import SpellingMistakesPlugin
 from repro.plugins.structural import StructuralErrorsPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["Table1Result", "run_table1", "run_table1_for"]
 
@@ -81,12 +82,20 @@ def _token_filter_for(selected: set[tuple[str, tuple[int, ...]]]):
 
 
 def run_table1_for(
-    sut: SystemUnderTest,
+    sut: SystemUnderTest | Callable[[], SystemUnderTest],
     seed: int = 2008,
     directives_per_section: int = 10,
     typos_per_directive: int = 10,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> ResilienceProfile:
-    """Run the three Table 1 error classes against one SUT and merge the profiles."""
+    """Run the three Table 1 error classes against one SUT and merge the profiles.
+
+    ``sut`` may be an instance or a factory; ``jobs``/``executor`` fan the
+    scenarios of each error class out across workers (note that the token
+    filters are closures, so the thread strategy is the parallel option here).
+    """
+    sut, sut_factory = split_sut(sut)
     selected = _selected_directive_paths(sut, directives_per_section, seed)
     token_filter = _token_filter_for(selected)
 
@@ -105,8 +114,10 @@ def run_table1_for(
     ]
     merged = ResilienceProfile(sut.name)
     for offset, plugin in enumerate(plugins):
-        profile = InjectionEngine(sut, plugin, seed=seed + offset).run()
-        merged.extend(profile.records)
+        engine = InjectionEngine(
+            sut, plugin, seed=seed + offset, sut_factory=sut_factory, jobs=jobs, executor=executor
+        )
+        merged.extend(engine.run().records)
     return merged
 
 
@@ -114,16 +125,20 @@ def run_table1(
     seed: int = 2008,
     directives_per_section: int = 10,
     typos_per_directive: int = 10,
-    systems: dict[str, SystemUnderTest] | None = None,
+    systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> Table1Result:
     """Run the Table 1 experiment for MySQL, Postgres and Apache."""
-    suts = systems if systems is not None else typo_benchmark_suts()
+    suts = systems if systems is not None else typo_benchmark_sut_factories()
     profiles = {
         name: run_table1_for(
             sut,
             seed=seed,
             directives_per_section=directives_per_section,
             typos_per_directive=typos_per_directive,
+            jobs=jobs,
+            executor=executor,
         )
         for name, sut in suts.items()
     }

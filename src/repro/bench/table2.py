@@ -11,13 +11,14 @@ section reordering for the flat ``postgresql.conf``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import InjectionOutcome, ResilienceProfile
 from repro.core.report import structural_support_table
-from repro.bench.workloads import structural_benchmark_suts
+from repro.bench.workloads import structural_benchmark_sut_factories
 from repro.plugins.structural import StructuralVariationsPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["Table2Result", "run_table2", "VARIATION_LABELS", "APPLICABLE_CLASSES"]
 
@@ -66,14 +67,17 @@ def _classify(profile: ResilienceProfile) -> str:
 def run_table2(
     seed: int = 2008,
     variants_per_class: int = 10,
-    systems: dict[str, SystemUnderTest] | None = None,
+    systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     min_truncation: int = 8,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> Table2Result:
     """Run the Table 2 experiment for MySQL, Postgres and Apache."""
-    suts = systems if systems is not None else structural_benchmark_suts()
+    suts = systems if systems is not None else structural_benchmark_sut_factories()
     support: dict[str, dict[str, str]] = {}
     profiles: dict[str, dict[str, ResilienceProfile]] = {}
     for name, sut in suts.items():
+        sut, sut_factory = split_sut(sut)
         applicable = APPLICABLE_CLASSES.get(name, tuple(VARIATION_LABELS))
         support[name] = {}
         profiles[name] = {}
@@ -86,7 +90,10 @@ def run_table2(
                 variants_per_class=variants_per_class,
                 min_truncation=min_truncation,
             )
-            profile = InjectionEngine(sut, plugin, seed=seed).run()
+            engine = InjectionEngine(
+                sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+            )
+            profile = engine.run()
             profiles[name][label] = profile
             support[name][label] = _classify(profile)
     return Table2Result(

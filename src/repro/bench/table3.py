@@ -13,13 +13,14 @@ system-independent record view and classifies each fault class:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import InjectionOutcome, ResilienceProfile
 from repro.core.report import semantic_behaviour_table
-from repro.bench.workloads import dns_benchmark_suts
+from repro.bench.workloads import dns_benchmark_sut_factories
 from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["Table3Result", "run_table3", "FAULT_LABELS"]
 
@@ -59,19 +60,25 @@ def _classify(profile: ResilienceProfile) -> str:
 def run_table3(
     seed: int = 2008,
     max_scenarios_per_class: int = 3,
-    systems: dict[str, SystemUnderTest] | None = None,
+    systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     fault_classes: dict[str, str] | None = None,
+    jobs: int = 1,
+    executor: str | None = None,
 ) -> Table3Result:
     """Run the Table 3 experiment for BIND and djbdns."""
-    suts = systems if systems is not None else dns_benchmark_suts()
+    suts = systems if systems is not None else dns_benchmark_sut_factories()
     labels = fault_classes if fault_classes is not None else FAULT_LABELS
     behaviour: dict[str, dict[str, str]] = {label: {} for label in labels.values()}
     profiles: dict[str, ResilienceProfile] = {}
     for name, sut in suts.items():
+        sut, sut_factory = split_sut(sut)
         plugin = DnsSemanticErrorsPlugin(
             classes=list(labels), max_scenarios_per_class=max_scenarios_per_class
         )
-        profile = InjectionEngine(sut, plugin, seed=seed).run()
+        engine = InjectionEngine(
+            sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+        )
+        profile = engine.run()
         profiles[name] = profile
         by_category = profile.by_category()
         for fault_class, label in labels.items():

@@ -1,4 +1,4 @@
-"""Per-injection timing (Section 5.2's cost remarks).
+"""Per-injection timing and campaign throughput (Section 5.2's cost remarks).
 
 The paper reports that each injection experiment took on the order of
 seconds on the authors' workstation (2.2 s for MySQL, 6 s for Postgres,
@@ -6,17 +6,31 @@ seconds on the authors' workstation (2.2 s for MySQL, 6 s for Postgres,
 With the simulated servers an experiment is orders of magnitude faster;
 ``benchmarks/test_injection_speed.py`` measures it with pytest-benchmark and
 EXPERIMENTS.md records the comparison.
+
+:func:`campaign_throughput` measures end-to-end scenarios/second for a whole
+campaign under a chosen executor strategy and worker count; it is the
+instrument behind ``benchmarks/test_campaign_throughput.py`` and
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
+from repro.core.campaign import Campaign
 from repro.core.engine import InjectionEngine
+from repro.plugins.base import ErrorGeneratorPlugin
 from repro.plugins.spelling import SpellingMistakesPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["time_single_injection", "single_injection_callable"]
+__all__ = [
+    "time_single_injection",
+    "single_injection_callable",
+    "ThroughputResult",
+    "campaign_throughput",
+]
 
 
 def single_injection_callable(sut: SystemUnderTest, seed: int = 2008):
@@ -25,14 +39,16 @@ def single_injection_callable(sut: SystemUnderTest, seed: int = 2008):
     The scenario generation is done once up-front so the callable measures
     exactly the inject + start + test + stop cycle (what the paper times).
     """
+    sut, _ = split_sut(sut)
     engine = InjectionEngine(sut, SpellingMistakesPlugin(mutations_per_token=1), seed=seed)
     config_set, view_set, scenarios = engine.generate_scenarios()
     if not scenarios:
         raise RuntimeError(f"no scenarios generated for {sut.name}")
     scenario = scenarios[0]
+    baseline = engine.baseline_files(config_set, view_set)
 
     def run_once():
-        return engine.run_scenario(scenario, config_set, view_set)
+        return engine.run_scenario(scenario, config_set, view_set, baseline_files=baseline)
 
     return run_once
 
@@ -44,3 +60,54 @@ def time_single_injection(sut: SystemUnderTest, repetitions: int = 10, seed: int
     for _ in range(repetitions):
         run_once()
     return (time.perf_counter() - started) / repetitions
+
+
+@dataclass
+class ThroughputResult:
+    """End-to-end campaign throughput measurement."""
+
+    system_name: str
+    scenarios: int
+    seconds: float
+    jobs: int
+    executor: str | None
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Scenarios completed per wall-clock second."""
+        return self.scenarios / self.seconds if self.seconds > 0 else float("inf")
+
+
+def campaign_throughput(
+    sut: SystemUnderTest | Callable[[], SystemUnderTest],
+    plugins: Sequence[ErrorGeneratorPlugin],
+    seed: int = 2008,
+    jobs: int = 1,
+    executor: str | None = None,
+    check_baseline: bool = False,
+) -> ThroughputResult:
+    """Run one campaign and measure its scenarios/second.
+
+    The clock covers the whole campaign -- scenario generation, injection,
+    SUT lifecycle and merging -- because that is the quantity an operator
+    sizing a profiling run cares about.
+    """
+    campaign = Campaign(
+        sut,
+        list(plugins),
+        seed=seed,
+        check_baseline=check_baseline,
+        jobs=jobs,
+        executor=executor,
+    )
+    started = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - started
+    overall = result.overall
+    return ThroughputResult(
+        system_name=overall.system_name,
+        scenarios=len(overall),
+        seconds=elapsed,
+        jobs=jobs,
+        executor=executor,
+    )

@@ -3,11 +3,20 @@
 Provides the systems-under-test with the configurations each experiment
 needs, and the "most of the available directives, with default values"
 configurations used by the Section 5.5 comparison benchmark (Figure 3).
+
+Each workload comes in two flavours: ``*_suts()`` returns live instances
+(convenient for serial, single-engine use) and ``*_sut_factories()`` returns
+picklable zero-argument factories -- the form the parallel campaign executor
+needs, since every worker builds its own private SUT.
 """
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Callable
+
 from repro.sut.apache import SimulatedApache
+from repro.sut.base import SystemUnderTest
 from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
 from repro.sut.mysql import SimulatedMySQL
 from repro.sut.mysql.options import DEFAULT_MY_CNF_SERVER_ONLY, MYSQLD_OPTIONS
@@ -16,16 +25,23 @@ from repro.sut.postgres.options import POSTGRES_OPTIONS
 
 __all__ = [
     "typo_benchmark_suts",
+    "typo_benchmark_sut_factories",
     "structural_benchmark_suts",
+    "structural_benchmark_sut_factories",
     "dns_benchmark_suts",
+    "dns_benchmark_sut_factories",
     "full_directive_mysql_config",
     "full_directive_postgres_config",
     "comparison_suts",
+    "comparison_sut_factories",
+    "simulated_sut_factories",
 ]
 
+SUTFactory = Callable[[], SystemUnderTest]
 
-def typo_benchmark_suts() -> dict[str, object]:
-    """The three SUTs of the Table 1 experiment.
+
+def typo_benchmark_sut_factories() -> dict[str, SUTFactory]:
+    """Factories for the three SUTs of the Table 1 experiment.
 
     MySQL uses the server-group-only option file so that every injected typo
     targets a directive the server actually parses at startup (see
@@ -33,24 +49,50 @@ def typo_benchmark_suts() -> dict[str, object]:
     MySQL, 8 for Postgres and 98 for Apache.
     """
     return {
-        "MySQL": SimulatedMySQL(default_config=DEFAULT_MY_CNF_SERVER_ONLY),
-        "Postgres": SimulatedPostgres(),
-        "Apache": SimulatedApache(),
+        "MySQL": partial(SimulatedMySQL, default_config=DEFAULT_MY_CNF_SERVER_ONLY),
+        "Postgres": SimulatedPostgres,
+        "Apache": SimulatedApache,
+    }
+
+
+def typo_benchmark_suts() -> dict[str, object]:
+    """The three SUTs of the Table 1 experiment, instantiated."""
+    return {name: factory() for name, factory in typo_benchmark_sut_factories().items()}
+
+
+def structural_benchmark_sut_factories() -> dict[str, SUTFactory]:
+    """Factories for the Table 2 SUTs (full default configurations)."""
+    return {
+        "MySQL": SimulatedMySQL,
+        "Postgres": SimulatedPostgres,
+        "Apache": SimulatedApache,
     }
 
 
 def structural_benchmark_suts() -> dict[str, object]:
     """The three SUTs of the Table 2 experiment (full default configurations)."""
-    return {
-        "MySQL": SimulatedMySQL(),
-        "Postgres": SimulatedPostgres(),
-        "Apache": SimulatedApache(),
-    }
+    return {name: factory() for name, factory in structural_benchmark_sut_factories().items()}
+
+
+def dns_benchmark_sut_factories() -> dict[str, SUTFactory]:
+    """Factories for the two SUTs of the Table 3 experiment."""
+    return {"BIND": SimulatedBIND, "djbdns": SimulatedDjbdns}
 
 
 def dns_benchmark_suts() -> dict[str, object]:
     """The two SUTs of the Table 3 experiment."""
-    return {"BIND": SimulatedBIND(), "djbdns": SimulatedDjbdns()}
+    return {name: factory() for name, factory in dns_benchmark_sut_factories().items()}
+
+
+def simulated_sut_factories() -> dict[str, SUTFactory]:
+    """Factories for all five simulated systems the paper studies."""
+    return {
+        "mysql": SimulatedMySQL,
+        "postgres": SimulatedPostgres,
+        "apache": SimulatedApache,
+        "bind": SimulatedBIND,
+        "djbdns": SimulatedDjbdns,
+    }
 
 
 def full_directive_mysql_config() -> str:
@@ -84,9 +126,14 @@ def full_directive_postgres_config() -> str:
     return "\n".join(lines) + "\n"
 
 
+def comparison_sut_factories() -> dict[str, SUTFactory]:
+    """Factories for the Figure 3 comparison SUTs (full-directive files)."""
+    return {
+        "MySQL": partial(SimulatedMySQL, default_config=full_directive_mysql_config()),
+        "Postgresql": partial(SimulatedPostgres, default_config=full_directive_postgres_config()),
+    }
+
+
 def comparison_suts() -> dict[str, object]:
     """MySQL and Postgres configured with the full-directive files (Figure 3)."""
-    return {
-        "MySQL": SimulatedMySQL(default_config=full_directive_mysql_config()),
-        "Postgresql": SimulatedPostgres(default_config=full_directive_postgres_config()),
-    }
+    return {name: factory() for name, factory in comparison_sut_factories().items()}

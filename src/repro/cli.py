@@ -18,6 +18,7 @@ import sys
 from typing import Callable, Sequence
 
 from repro.core.campaign import Campaign
+from repro.errors import CampaignError
 from repro.parsers.base import available_dialects
 from repro.plugins import (
     DnsSemanticErrorsPlugin,
@@ -53,6 +54,31 @@ _PLUGIN_FACTORIES: dict[str, Callable[[argparse.Namespace], object]] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared worker-fan-out flags for campaign-running sub-commands."""
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="number of parallel workers per campaign (default 1: serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="worker strategy; default: serial for --jobs 1, threads otherwise",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -69,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-scenarios-per-class", type=int, default=None)
     run.add_argument("--json", action="store_true", help="emit the full profile as JSON")
     run.add_argument("--output", metavar="FILE", default=None, help="also save the profile as JSON to FILE")
+    _add_executor_arguments(run)
 
     report = sub.add_parser("report", help="re-render a previously saved resilience profile")
     report.add_argument("profile_file", help="JSON file written by 'conferr run --output'")
@@ -81,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         bench = sub.add_parser(name, help=help_text)
         bench.add_argument("--seed", type=int, default=2008)
+        _add_executor_arguments(bench)
         if name == "figure3":
             bench.add_argument("--experiments-per-directive", type=int, default=20)
         if name == "table1":
@@ -93,9 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    sut = _SYSTEMS[args.system]()
+    # the SUT class itself is the factory, so workers can build private instances
+    sut_factory = _SYSTEMS[args.system]
     plugin = _PLUGIN_FACTORIES[args.plugin](args)
-    campaign = Campaign(sut, [plugin], seed=args.seed)
+    campaign = Campaign(
+        sut_factory, [plugin], seed=args.seed, jobs=args.jobs, executor=args.executor
+    )
     result = campaign.run()
     profile = result.overall
     if args.output:
@@ -133,7 +164,12 @@ def _command_list(_args: argparse.Namespace) -> int:
 def _command_table1(args: argparse.Namespace) -> int:
     from repro.bench import run_table1
 
-    result = run_table1(seed=args.seed, typos_per_directive=args.typos_per_directive)
+    result = run_table1(
+        seed=args.seed,
+        typos_per_directive=args.typos_per_directive,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
     print(result.table_text)
     return 0
 
@@ -141,7 +177,12 @@ def _command_table1(args: argparse.Namespace) -> int:
 def _command_table2(args: argparse.Namespace) -> int:
     from repro.bench import run_table2
 
-    result = run_table2(seed=args.seed, variants_per_class=args.variants_per_class)
+    result = run_table2(
+        seed=args.seed,
+        variants_per_class=args.variants_per_class,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
     print(result.table_text)
     return 0
 
@@ -149,7 +190,7 @@ def _command_table2(args: argparse.Namespace) -> int:
 def _command_table3(args: argparse.Namespace) -> int:
     from repro.bench import run_table3
 
-    result = run_table3(seed=args.seed)
+    result = run_table3(seed=args.seed, jobs=args.jobs, executor=args.executor)
     print(result.table_text)
     return 0
 
@@ -158,7 +199,10 @@ def _command_figure3(args: argparse.Namespace) -> int:
     from repro.bench import run_figure3
 
     result = run_figure3(
-        seed=args.seed, experiments_per_directive=args.experiments_per_directive
+        seed=args.seed,
+        experiments_per_directive=args.experiments_per_directive,
+        jobs=args.jobs,
+        executor=args.executor,
     )
     print(result.chart_text)
     print()
@@ -179,7 +223,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table3": _command_table3,
         "figure3": _command_figure3,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CampaignError as exc:
+        # e.g. --executor process with a campaign that cannot be pickled
+        print(f"conferr: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

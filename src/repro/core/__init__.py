@@ -23,6 +23,12 @@ from repro.core.infoset import ConfigNode, ConfigTree
 from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.core.engine import InjectionEngine
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.executor import (
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    ThreadPoolCampaignExecutor,
+    available_executors,
+)
 
 __all__ = [
     "ConfigNode",
@@ -33,4 +39,8 @@ __all__ = [
     "InjectionEngine",
     "Campaign",
     "CampaignResult",
+    "SerialExecutor",
+    "ThreadPoolCampaignExecutor",
+    "ProcessPoolCampaignExecutor",
+    "available_executors",
 ]

@@ -3,7 +3,10 @@
 A campaign bundles a system under test with one or more error-generator
 plugins and a seed; running it produces one resilience profile per plugin
 plus a merged overall profile.  Campaigns make the benchmark reproducible:
-the same campaign with the same seed always injects the same faults.
+the same campaign with the same seed always injects the same faults, and
+profiles are identical -- same records, same order, same outcomes, so
+byte-identical summaries -- whatever the worker count (``jobs``) or executor
+strategy used to run them (only per-record wall-clock durations differ).
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from repro.core.engine import InjectionEngine
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.errors import CampaignError
 from repro.plugins.base import ErrorGeneratorPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["Campaign", "CampaignResult"]
 
@@ -26,14 +29,36 @@ class CampaignResult:
 
     system_name: str
     per_plugin: dict[str, ResilienceProfile]
+    _overall_cache: ResilienceProfile | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def overall(self) -> ResilienceProfile:
-        """All records of all plugins merged into one profile."""
-        merged = ResilienceProfile(self.system_name)
-        for profile in self.per_plugin.values():
-            merged.extend(profile.records)
-        return merged
+        """All records of all plugins merged into one profile.
+
+        The merge is memoized and the *same* profile object is returned on
+        every access: treat it as read-only.  To change the result, go
+        through :meth:`add_profile` (or call :meth:`invalidate` after
+        mutating ``per_plugin`` directly); mutating the returned profile or
+        the per-plugin profiles in place corrupts the cache.
+        """
+        if self._overall_cache is None:
+            merged = ResilienceProfile(self.system_name)
+            for profile in self.per_plugin.values():
+                merged.extend(profile.records)
+            self._overall_cache = merged
+        return self._overall_cache
+
+    def add_profile(self, plugin_name: str, profile: ResilienceProfile) -> ResilienceProfile:
+        """Add (or replace) one plugin's profile and invalidate the merge cache."""
+        self.per_plugin[plugin_name] = profile
+        self.invalidate()
+        return profile
+
+    def invalidate(self) -> None:
+        """Drop the memoized overall profile (recomputed on next access)."""
+        self._overall_cache = None
 
     def profile(self, plugin_name: str) -> ResilienceProfile:
         """Profile of one plugin (KeyError if the plugin was not part of the campaign)."""
@@ -42,13 +67,24 @@ class CampaignResult:
 
 @dataclass
 class Campaign:
-    """One benchmark: a SUT, the plugins to run against it, and a seed."""
+    """One benchmark: a SUT, the plugins to run against it, and a seed.
 
-    sut: SystemUnderTest
+    ``sut`` may be a live instance or a zero-argument factory (the SUT class
+    itself works); a factory is required when ``jobs > 1`` so that every
+    worker can build a private instance.
+
+    ``observer`` fires once per record in scenario order.  With ``jobs == 1``
+    it fires live after each injection; with a parallel executor it fires
+    only once each plugin's merged results are in.
+    """
+
+    sut: SystemUnderTest | Callable[[], SystemUnderTest]
     plugins: Sequence[ErrorGeneratorPlugin]
     seed: int = 0
     check_baseline: bool = True
     observer: Callable[[InjectionRecord], None] | None = field(default=None, repr=False)
+    jobs: int = 1
+    executor: str | None = None
 
     def run(self) -> CampaignResult:
         """Run every plugin and collect the profiles.
@@ -58,10 +94,17 @@ class Campaign:
         """
         if not self.plugins:
             raise CampaignError("a campaign needs at least one plugin")
-        per_plugin: dict[str, ResilienceProfile] = {}
+        sut, sut_factory = split_sut(self.sut)
+        result = CampaignResult(sut.name, {})
         for index, plugin in enumerate(self.plugins):
             engine = InjectionEngine(
-                self.sut, plugin, seed=self.seed + index, observer=self.observer
+                sut,
+                plugin,
+                seed=self.seed + index,
+                observer=self.observer,
+                sut_factory=sut_factory,
+                jobs=self.jobs,
+                executor=self.executor,
             )
             if self.check_baseline and index == 0:
                 problems = engine.baseline_check()
@@ -69,5 +112,5 @@ class Campaign:
                     raise CampaignError(
                         "the unmodified configuration is not healthy: " + "; ".join(problems)
                     )
-            per_plugin[plugin.name] = engine.run()
-        return CampaignResult(self.sut.name, per_plugin)
+            result.add_profile(plugin.name, engine.run())
+        return result

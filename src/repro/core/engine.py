@@ -5,47 +5,96 @@ For one (system under test, error-generator plugin) pair the engine
 1. parses the SUT's initial configuration files into system-specific trees,
 2. maps them to the plugin's view,
 3. asks the plugin for fault scenarios,
-4. for each scenario: applies it to a pristine copy of the view, maps the
-   mutated view back, serialises the faulty configuration files, starts the
-   SUT with them, runs the functional tests, stops the SUT and records the
-   outcome,
+4. for each scenario: applies it to the pristine view, maps the mutated view
+   back, serialises the faulty configuration files, starts the SUT with them,
+   runs the functional tests, stops the SUT and records the outcome,
 5. returns the resulting :class:`~repro.core.profile.ResilienceProfile`.
 
 None of these steps require human intervention (paper Section 3).
+
+Scenario application uses an apply/undo protocol: every built-in
+:class:`~repro.core.templates.base.Operation` returns an inverse, so the
+engine mutates one long-lived working view and rolls it back after each
+experiment instead of deep-cloning the whole configuration set per scenario.
+File serialisations of trees a scenario does not touch come from a baseline
+cache computed once per campaign.  Campaigns can also fan scenarios out
+across threads or processes (``jobs``/``executor``); each worker owns a
+private SUT built from ``sut_factory``.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.infoset import ConfigSet
 from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.core.templates.base import FaultScenario
-from repro.errors import ConfErrError, SerializationError, SUTError, TransformError
+from repro.errors import CampaignError, ConfErrError, SerializationError, SUTError, TransformError
 from repro.parsers.base import get_dialect, serialize_tree
 from repro.plugins.base import ErrorGeneratorPlugin
-from repro.sut.base import SystemUnderTest
+from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["InjectionEngine"]
 
 
 class InjectionEngine:
-    """Runs injection experiments for one SUT and one plugin."""
+    """Runs injection experiments for one SUT and one plugin.
+
+    Parameters
+    ----------
+    sut:
+        Either a live :class:`SystemUnderTest` or a zero-argument factory
+        returning one (the SUT class itself works).  Passing a factory is
+        required for parallel execution: every worker builds its own instance.
+    plugin:
+        The error-generator plugin supplying view and fault scenarios.
+    seed:
+        Seed of the scenario-generation RNG (campaigns are reproducible).
+    observer:
+        Optional callback invoked once per record, in scenario order,
+        regardless of the executor strategy or worker count.  Serial runs
+        observe each record live as it is produced; parallel runs observe
+        them only after the merged results arrive (end of the run), so the
+        callback is a completeness hook there, not a liveness indicator.
+    sut_factory:
+        Explicit factory; overrides the one inferred from ``sut``.  Must
+        build SUTs configured identically to ``sut`` -- workers re-parse the
+        pristine configuration from their own instance, so a mismatched
+        factory would silently inject into a different configuration.
+    jobs:
+        Number of workers scenarios are fanned out to (1 = in-process serial).
+    executor:
+        Executor strategy name (``"serial"``, ``"thread"``, ``"process"``);
+        None picks serial for ``jobs == 1`` and threads otherwise.
+    """
 
     def __init__(
         self,
-        sut: SystemUnderTest,
+        sut: SystemUnderTest | Callable[[], SystemUnderTest],
         plugin: ErrorGeneratorPlugin,
         seed: int = 0,
         observer: Callable[[InjectionRecord], None] | None = None,
+        *,
+        sut_factory: Callable[[], SystemUnderTest] | None = None,
+        jobs: int = 1,
+        executor: str | None = None,
     ):
-        self.sut = sut
+        if sut_factory is not None:
+            self.sut = sut if isinstance(sut, SystemUnderTest) else sut_factory()
+        else:
+            sut, sut_factory = split_sut(sut)
+            self.sut = sut
+        #: Zero-argument factory producing fresh SUT instances for workers
+        #: (None when only a shared instance was supplied).
+        self.sut_factory = sut_factory
         self.plugin = plugin
         self.seed = seed
         #: Optional callback invoked after every injection (progress reporting).
         self.observer = observer
+        self.jobs = jobs
+        self.executor = executor
 
     # ---------------------------------------------------------------- parsing
     def parse_initial_configuration(self) -> ConfigSet:
@@ -67,24 +116,110 @@ class InjectionEngine:
         scenarios = self.plugin.generate(view_set, rng)
         return config_set, view_set, scenarios
 
+    def baseline_files(self, config_set: ConfigSet, view_set: ConfigSet) -> dict[str, str] | None:
+        """Serialise the *pristine* configuration through the view round-trip.
+
+        The result is what :meth:`materialize` produces for trees a scenario
+        does not touch, so it is computed once per campaign and reused.  None
+        when the pristine round-trip itself cannot be serialised (degenerate
+        harness setups); callers then fall back to full per-scenario
+        untransforms.
+        """
+        try:
+            system_set = self.plugin.view.untransform(view_set, config_set)
+            return {tree.name: serialize_tree(tree) for tree in system_set}
+        except ConfErrError:
+            return None
+
     # -------------------------------------------------------------- injection
     def run(self, scenarios: Sequence[FaultScenario] | None = None) -> ResilienceProfile:
-        """Run the full campaign and return the resilience profile."""
+        """Run the full campaign and return the resilience profile.
+
+        Records are merged in scenario order whatever the executor strategy
+        and worker count, so profiles are seed-stable across ``jobs``
+        settings: same records, order and outcomes (hence byte-identical
+        summaries); only per-record wall-clock durations vary.
+        """
         config_set, view_set, generated = self.generate_scenarios()
+        scenario_list = list(scenarios if scenarios is not None else generated)
+
+        from repro.core.executor import SerialExecutor, resolve_executor
+
+        strategy = resolve_executor(self.executor, self.jobs)
+        if isinstance(strategy, SerialExecutor):
+            # serial == inline: reuse this engine's SUT and already-built
+            # context instead of re-parsing inside a worker
+            strategy = None
         profile = ResilienceProfile(self.sut.name)
-        for scenario in scenarios if scenarios is not None else generated:
-            record = self.run_scenario(scenario, config_set, view_set)
-            profile.add(record)
-            if self.observer is not None:
-                self.observer(record)
+        if not scenario_list:
+            return profile
+        if strategy is None:
+            # serial: observe each record as it is produced (live progress)
+            baseline = self.baseline_files(config_set, view_set)
+            for scenario in scenario_list:
+                record = self.run_scenario(scenario, config_set, view_set, baseline_files=baseline)
+                profile.add(record)
+                if self.observer is not None:
+                    self.observer(record)
+        else:
+            # parallel: records arrive merged; observe them in scenario order
+            for record in strategy.run(self.worker_spec(), scenario_list):
+                profile.add(record)
+                if self.observer is not None:
+                    self.observer(record)
         return profile
 
-    def materialize(self, scenario: FaultScenario, config_set: ConfigSet, view_set: ConfigSet) -> dict[str, str]:
+    def worker_spec(self):
+        """Picklable description of this engine for executor workers."""
+        from repro.core.executor import WorkerSpec
+
+        if self.sut_factory is None:
+            raise CampaignError(
+                "parallel execution needs a SUT factory: pass the SUT class or a "
+                "zero-argument callable instead of a shared instance"
+            )
+        return WorkerSpec(sut_factory=self.sut_factory, plugin=self.plugin)
+
+    def materialize(
+        self,
+        scenario: FaultScenario,
+        config_set: ConfigSet,
+        view_set: ConfigSet,
+        baseline_files: Mapping[str, str] | None = None,
+    ) -> dict[str, str]:
         """Produce the faulty configuration files for ``scenario``.
+
+        ``view_set`` is used as the working copy: it is mutated in place and
+        rolled back before returning (operations without an inverse fall back
+        to a copy-on-write overlay that clones only the touched trees).  When
+        ``baseline_files`` is given and the view supports localisation, only
+        the touched trees are reverse-transformed and serialised.
 
         Raises :class:`~repro.errors.SerializationError` (or
         :class:`~repro.errors.TransformError`) when the mutation cannot be
         expressed in the native format.
+        """
+        with scenario.applied_to(view_set) as mutated:
+            partial = None
+            if baseline_files is not None:
+                touched = scenario.touched_trees()
+                if touched is not None:
+                    partial = self.plugin.view.untransform_touched(mutated, config_set, touched)
+            if partial is None:
+                system_set = self.plugin.view.untransform(mutated, config_set)
+                return {tree.name: serialize_tree(tree) for tree in system_set}
+            files = dict(baseline_files)
+            for tree in partial:
+                files[tree.name] = serialize_tree(tree)
+            return files
+
+    def materialize_cloning(
+        self, scenario: FaultScenario, config_set: ConfigSet, view_set: ConfigSet
+    ) -> dict[str, str]:
+        """Reference materialisation: full clone per scenario (the pre-CoW path).
+
+        Kept for benchmarking the apply/undo fast path against and as an
+        always-correct oracle in tests.
         """
         mutated_view = scenario.apply(view_set)
         system_set = self.plugin.view.untransform(mutated_view, config_set)
@@ -95,6 +230,7 @@ class InjectionEngine:
         scenario: FaultScenario,
         config_set: ConfigSet,
         view_set: ConfigSet,
+        baseline_files: Mapping[str, str] | None = None,
     ) -> InjectionRecord:
         """Run a single injection experiment and classify its outcome."""
         started_at = time.perf_counter()
@@ -112,7 +248,7 @@ class InjectionEngine:
             )
 
         try:
-            files = self.materialize(scenario, config_set, view_set)
+            files = self.materialize(scenario, config_set, view_set, baseline_files=baseline_files)
         except (SerializationError, TransformError) as exc:
             return record(InjectionOutcome.INJECTION_IMPOSSIBLE, messages=[str(exc)])
         except ConfErrError as exc:
@@ -122,6 +258,14 @@ class InjectionEngine:
             start_result = self.sut.start(files)
         except SUTError as exc:
             return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+        except Exception as exc:
+            # A crashing simulated SUT must not take the whole campaign (or a
+            # pool worker) down with it; record it and keep injecting.
+            self._safe_stop()
+            return record(
+                InjectionOutcome.HARNESS_ERROR,
+                messages=[f"unexpected SUT failure: {type(exc).__name__}: {exc}"],
+            )
 
         if not start_result.started:
             self._safe_stop()
@@ -139,6 +283,13 @@ class InjectionEngine:
             if failed:
                 return record(InjectionOutcome.DETECTED_BY_TESTS, messages=messages, failed_tests=failed)
             return record(InjectionOutcome.IGNORED, messages=messages)
+        except Exception as exc:
+            # like a crashing start(), a crashing diagnosis test must not
+            # abort the campaign
+            return record(
+                InjectionOutcome.HARNESS_ERROR,
+                messages=[f"unexpected functional-test failure: {type(exc).__name__}: {exc}"],
+            )
         finally:
             self._safe_stop()
 

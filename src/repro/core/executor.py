@@ -1,0 +1,211 @@
+"""Campaign execution strategies: fan scenarios out across workers.
+
+The paper's pitch is that automated injection makes resilience profiling
+cheap (Section 5.2 reports seconds per experiment, dominated by starting and
+stopping the servers).  Injection experiments are embarrassingly parallel --
+each one starts from the pristine configuration and owns its SUT lifecycle --
+so a campaign is a classic work-partitioning problem: split the scenario
+list, give every worker a private SUT built from the campaign's SUT factory,
+and merge the records back **in scenario order** so the resulting profile is
+identical whatever the worker count (same records, order and outcomes --
+only per-record wall-clock durations differ).
+
+Three strategies are provided:
+
+``SerialExecutor``
+    One worker in the calling thread; the reference implementation.
+``ThreadPoolCampaignExecutor``
+    Threads; best when experiment cost is dominated by waiting on the SUT
+    (process startup, sockets) as with real servers.
+``ProcessPoolCampaignExecutor``
+    Processes; sidesteps the GIL for CPU-bound simulated SUTs, but requires
+    the SUT factory, plugin and scenarios to be picklable.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.profile import InjectionRecord
+from repro.core.templates.base import FaultScenario
+from repro.errors import CampaignError
+from repro.plugins.base import ErrorGeneratorPlugin
+from repro.sut.base import SystemUnderTest
+
+__all__ = [
+    "WorkerSpec",
+    "CampaignExecutor",
+    "SerialExecutor",
+    "ThreadPoolCampaignExecutor",
+    "ProcessPoolCampaignExecutor",
+    "available_executors",
+    "resolve_executor",
+    "partition_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild an injection context.
+
+    Workers never share mutable state: each one instantiates its own SUT from
+    the factory, re-parses the pristine configuration and derives its own
+    working view, then runs its chunk of scenarios serially.  No seed is
+    carried: scenario generation (the only randomised stage) happens solely
+    in the coordinator, before fan-out.
+    """
+
+    sut_factory: Callable[[], SystemUnderTest]
+    plugin: ErrorGeneratorPlugin
+
+
+def run_scenario_chunk(
+    spec: WorkerSpec, chunk: Sequence[tuple[int, FaultScenario]]
+) -> list[tuple[int, InjectionRecord]]:
+    """Stateless unit of work: run ``chunk`` against a private SUT.
+
+    Module-level (hence picklable) so it can cross a process boundary.
+    Returns ``(scenario_index, record)`` pairs; the caller merges them back
+    into scenario order.
+    """
+    from repro.core.engine import InjectionEngine
+
+    engine = InjectionEngine(spec.sut_factory(), spec.plugin)
+    config_set = engine.parse_initial_configuration()
+    view_set = spec.plugin.view.transform(config_set)
+    baseline = engine.baseline_files(config_set, view_set)
+    return [
+        (index, engine.run_scenario(scenario, config_set, view_set, baseline_files=baseline))
+        for index, scenario in chunk
+    ]
+
+
+def partition_scenarios(
+    scenarios: Sequence[FaultScenario], jobs: int
+) -> list[list[tuple[int, FaultScenario]]]:
+    """Split scenarios into at most ``jobs`` contiguous, index-tagged chunks.
+
+    Chunk sizes are balanced (they differ by at most one) so every requested
+    worker gets work whenever there are at least ``jobs`` scenarios; a naive
+    ceil-sized split can leave workers idle (6 scenarios over 4 jobs would
+    make 3 chunks of 2 instead of 2+2+1+1).
+    """
+    indexed = list(enumerate(scenarios))
+    if not indexed:
+        return []
+    jobs = max(1, min(jobs, len(indexed)))
+    total = len(indexed)
+    bounds = [total * i // jobs for i in range(jobs + 1)]
+    return [indexed[bounds[i]:bounds[i + 1]] for i in range(jobs)]
+
+
+def _merge_in_order(
+    chunk_results: Sequence[Sequence[tuple[int, InjectionRecord]]]
+) -> list[InjectionRecord]:
+    """Deterministic merge: records sorted by original scenario index."""
+    flat = [pair for chunk in chunk_results for pair in chunk]
+    flat.sort(key=lambda pair: pair[0])
+    return [record for _, record in flat]
+
+
+class CampaignExecutor(ABC):
+    """Strategy interface: run scenarios for a worker spec, in scenario order."""
+
+    #: Registry name of the strategy.
+    name: str = "executor"
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise CampaignError(f"executor needs at least one worker, got jobs={jobs}")
+        self.jobs = jobs
+
+    @abstractmethod
+    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
+        """Execute every scenario and return records in scenario order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(CampaignExecutor):
+    """Single worker in the calling thread."""
+
+    name = "serial"
+
+    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
+        return _merge_in_order([run_scenario_chunk(spec, list(enumerate(scenarios)))])
+
+
+class ThreadPoolCampaignExecutor(CampaignExecutor):
+    """One thread per chunk, each with a private SUT instance."""
+
+    name = "thread"
+
+    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
+        chunks = partition_scenarios(scenarios, self.jobs)
+        if len(chunks) <= 1:
+            return _merge_in_order([run_scenario_chunk(spec, chunk) for chunk in chunks])
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [pool.submit(run_scenario_chunk, spec, chunk) for chunk in chunks]
+            return _merge_in_order([future.result() for future in futures])
+
+
+class ProcessPoolCampaignExecutor(CampaignExecutor):
+    """One OS process per chunk; spec and scenarios must be picklable."""
+
+    name = "process"
+
+    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
+        chunks = partition_scenarios(scenarios, self.jobs)
+        if len(chunks) <= 1:
+            return _merge_in_order([run_scenario_chunk(spec, chunk) for chunk in chunks])
+        # Pre-flight the pickle round-trip so an unshippable campaign fails
+        # with a pointed message; inside the pool a pickling error would be
+        # indistinguishable from a genuine worker-side bug, which must keep
+        # its own traceback.
+        try:
+            pickle.dumps((spec, chunks))
+        except Exception as exc:
+            raise CampaignError(
+                "process executor could not ship the campaign to workers "
+                "(SUT factory, plugin and scenarios must be picklable; "
+                "closures such as token filters are not): " + str(exc)
+            ) from exc
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [pool.submit(run_scenario_chunk, spec, chunk) for chunk in chunks]
+            return _merge_in_order([future.result() for future in futures])
+
+
+_EXECUTORS: dict[str, type[CampaignExecutor]] = {
+    cls.name: cls
+    for cls in (SerialExecutor, ThreadPoolCampaignExecutor, ProcessPoolCampaignExecutor)
+}
+
+
+def available_executors() -> list[str]:
+    """Names of the registered executor strategies, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def resolve_executor(kind: str | None, jobs: int) -> CampaignExecutor | None:
+    """Pick a strategy for (kind, jobs).
+
+    Returns None for the plain in-engine serial path (``jobs <= 1`` with no
+    explicit strategy), which keeps single-worker campaigns free of factory
+    requirements and pool overhead.
+    """
+    if kind is None:
+        if jobs <= 1:
+            return None
+        kind = "thread"
+    try:
+        executor_class = _EXECUTORS[kind]
+    except KeyError:
+        raise CampaignError(
+            f"unknown executor {kind!r}; available: {available_executors()}"
+        ) from None
+    return executor_class(jobs=jobs)

@@ -25,6 +25,39 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 
+class CloneStats:
+    """Process-wide counters of deep-copy operations.
+
+    The copy-on-write materialization path exists to keep campaign cost
+    independent of how many scenarios run; these counters let benchmarks and
+    tests assert that no per-scenario full-set clone sneaks back in.
+
+    The counters are process-local and incremented without synchronisation:
+    they are only meaningful around *serial* runs in the measuring process.
+    Thread workers may lose increments and process workers count in their
+    own interpreter, so parallel campaigns under-report here.
+    """
+
+    __slots__ = ("set_clones", "tree_clones")
+
+    def __init__(self) -> None:
+        self.set_clones = 0
+        self.tree_clones = 0
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.set_clones = 0
+        self.tree_clones = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        """Current ``(set_clones, tree_clones)`` pair."""
+        return (self.set_clones, self.tree_clones)
+
+
+#: Global clone counters; benchmarks reset and read them around hot loops.
+CLONE_STATS = CloneStats()
+
+
 class ConfigNode:
     """One information item in a configuration tree."""
 
@@ -99,6 +132,20 @@ class ConfigNode:
         yield self
         for child in self.children:
             yield from child.walk()
+
+    def walk_with_paths(
+        self, prefix: tuple[int, ...] = ()
+    ) -> Iterator[tuple["ConfigNode", tuple[int, ...]]]:
+        """Yield ``(node, index_path)`` pairs in document order.
+
+        The index path is the sequence of child indices from this node down to
+        the yielded node (this node itself has path ``prefix``).  Computing
+        paths during the walk is O(total nodes); deriving them per node with
+        :meth:`index_in_parent` would cost O(depth x sibling count) each.
+        """
+        yield self, prefix
+        for index, child in enumerate(self.children):
+            yield from child.walk_with_paths(prefix + (index,))
 
     def descendants(self) -> Iterator["ConfigNode"]:
         """Yield all descendants (excluding this node) in document order."""
@@ -220,6 +267,7 @@ class ConfigTree:
 
     def clone(self) -> "ConfigTree":
         """Deep copy of the tree (used before every mutation)."""
+        CLONE_STATS.tree_clones += 1
         return ConfigTree(self.name, self.root.clone(), self.dialect)
 
     def walk(self) -> Iterator[ConfigNode]:
@@ -288,6 +336,7 @@ class ConfigSet:
 
     def clone(self) -> "ConfigSet":
         """Deep copy of every tree in the set."""
+        CLONE_STATS.set_clones += 1
         return ConfigSet(tree.clone() for tree in self)
 
     def structurally_equal(self, other: "ConfigSet") -> bool:

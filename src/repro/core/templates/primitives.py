@@ -15,6 +15,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core.infoset import ConfigNode, ConfigSet
 from repro.core.path import PathExpr, parse_path
 from repro.core.templates.base import (
+    AddressIndex,
     DeleteOperation,
     FaultScenario,
     InsertOperation,
@@ -22,7 +23,6 @@ from repro.core.templates.base import (
     NodeAddress,
     SetFieldOperation,
     Template,
-    address_of,
 )
 from repro.errors import TemplateError
 
@@ -58,12 +58,19 @@ class TargetedTemplate(Template):
         if category is not None:
             self.category = category
 
-    def select_targets(self, config_set: ConfigSet) -> list[tuple[ConfigNode, NodeAddress]]:
-        """Return every (node, address) matched by the target expression."""
+    def select_targets(
+        self, config_set: ConfigSet, addresses: AddressIndex | None = None
+    ) -> list[tuple[ConfigNode, NodeAddress]]:
+        """Return every (node, address) matched by the target expression.
+
+        Addresses come from a single-walk :class:`AddressIndex` (pass one in
+        to share it across several selections on the same set).
+        """
+        addresses = addresses or AddressIndex(config_set)
         matches: list[tuple[ConfigNode, NodeAddress]] = []
         for tree in config_set:
             for node in self.target.select(tree.root):
-                matches.append((node, address_of(config_set, node)))
+                matches.append((node, addresses.address_of(node)))
         return matches
 
 
@@ -109,12 +116,13 @@ class DuplicateTemplate(TargetedTemplate):
     def generate(self, config_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         scenarios = []
         ordinal = 0
-        for node, address in self.select_targets(config_set):
+        addresses = AddressIndex(config_set)
+        for node, address in self.select_targets(config_set, addresses):
             if self.destination is None:
                 destinations = [(node.parent, address.parent())] if node.parent else []
             else:
                 destinations = [
-                    (dest, address_of(config_set, dest))
+                    (dest, addresses.address_of(dest))
                     for tree in config_set
                     for dest in self.destination.select(tree.root)
                 ]
@@ -163,14 +171,15 @@ class MoveTemplate(TargetedTemplate):
     def generate(self, config_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         scenarios = []
         ordinal = 0
-        for node, address in self.select_targets(config_set):
+        addresses = AddressIndex(config_set)
+        for node, address in self.select_targets(config_set, addresses):
             for tree in config_set:
                 for dest in self.destination.select(tree.root):
                     if dest is node or any(a is node for a in dest.ancestors()):
                         continue
                     if not self.include_current_parent and dest is node.parent:
                         continue
-                    dest_address = address_of(config_set, dest)
+                    dest_address = addresses.address_of(dest)
                     scenarios.append(
                         FaultScenario(
                             scenario_id=f"move-{ordinal}-{_node_label(node)}",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterable, Optional
 
 from repro.core.infoset import ConfigSet
 
@@ -35,6 +36,26 @@ class View(ABC):
         cannot be expressed in the original configuration format.
         """
 
+    def untransform_touched(
+        self, view_set: ConfigSet, original: ConfigSet, touched: Iterable[str]
+    ) -> Optional[ConfigSet]:
+        """Reverse-map only the system trees affected by changes in ``touched``.
+
+        ``touched`` names the view trees a scenario mutated.  Views whose
+        mapping is per-tree (the view tree named X determines exactly the
+        system tree named X) override this to rebuild just those trees; the
+        engine then reuses cached baseline serialisations for the rest.
+
+        Returning ``None`` (the default) means the view cannot localise the
+        change -- e.g. one view tree aggregates many system files -- and the
+        caller must fall back to the full :meth:`untransform`.
+
+        Unlike :meth:`untransform`, the result is scratch: it may alias nodes
+        of ``view_set``, so callers must serialise it before the mutated view
+        is rolled back, and must not mutate or retain it.
+        """
+        return None
+
 
 class IdentityView(View):
     """View whose plugin representation *is* the system-specific tree.
@@ -51,3 +72,15 @@ class IdentityView(View):
 
     def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
         return view_set.clone()
+
+    def untransform_touched(
+        self, view_set: ConfigSet, original: ConfigSet, touched: Iterable[str]
+    ) -> Optional[ConfigSet]:
+        # The identity mapping can hand the mutated view trees straight to the
+        # serialiser; the caller discards them before the view is rolled back.
+        result = ConfigSet()
+        for name in touched:
+            if name not in view_set:
+                return None
+            result.add(view_set.get(name))
+        return result

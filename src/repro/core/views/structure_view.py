@@ -10,22 +10,20 @@ sections and directives regardless of the dialect (flat files such as
 
 from __future__ import annotations
 
-from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
-from repro.core.views.base import View
+from repro.core.infoset import ConfigNode, ConfigTree
+from repro.core.views.base import IdentityView
 
 __all__ = ["StructureView"]
 
 
-class StructureView(View):
-    """Identity mapping with structural navigation helpers."""
+class StructureView(IdentityView):
+    """Identity mapping with structural navigation helpers.
+
+    Inherits transform/untransform (and the touched-tree localisation) from
+    :class:`IdentityView`; only the navigation vocabulary is added here.
+    """
 
     name = "structure"
-
-    def transform(self, config_set: ConfigSet) -> ConfigSet:
-        return config_set.clone()
-
-    def untransform(self, view_set: ConfigSet, original: ConfigSet) -> ConfigSet:
-        return view_set.clone()
 
     # ------------------------------------------------------------ navigation
     @staticmethod

@@ -33,17 +33,6 @@ _TOKENISABLE_KINDS = {"directive", "section", "record", "control"}
 _WORD_SPLIT_RE = re.compile(r"(\s+)")
 
 
-def _index_path(node: ConfigNode) -> tuple[int, ...]:
-    """Child-index path of ``node`` from its tree root."""
-    indices: list[int] = []
-    current = node
-    while current.parent is not None:
-        indices.append(current.index_in_parent())
-        current = current.parent
-    indices.reverse()
-    return tuple(indices)
-
-
 def _resolve_path(tree: ConfigTree, path: tuple[int, ...]) -> ConfigNode:
     node = tree.root
     for index in path:
@@ -89,17 +78,18 @@ class TokenView(View):
         view_trees = []
         for tree in config_set:
             view_root = ConfigNode("token-file", name=tree.name)
-            for node in tree.walk():
+            # walk_with_paths computes every source path in one walk; deriving
+            # paths per node via index_in_parent is quadratic on wide trees.
+            for node, path in tree.root.walk_with_paths():
                 if node.kind not in _TOKENISABLE_KINDS:
                     continue
-                line = self._line_for(tree, node)
+                line = self._line_for(tree, node, path)
                 if line.children:
                     view_root.append(line)
             view_trees.append(ConfigTree(tree.name, view_root, dialect="view:tokens"))
         return ConfigSet(view_trees)
 
-    def _line_for(self, tree: ConfigTree, node: ConfigNode) -> ConfigNode:
-        path = _index_path(node)
+    def _line_for(self, tree: ConfigTree, node: ConfigNode, path: tuple[int, ...]) -> ConfigNode:
         line = ConfigNode(
             "line",
             name=node.name,
@@ -146,6 +136,24 @@ class TokenView(View):
         result = original.clone()
         for view_tree in view_set:
             for line in view_tree.root.children_of_kind("line"):
+                self._apply_line(line, result)
+        return result
+
+    def untransform_touched(self, view_set, original, touched):
+        # One view tree per system tree, same name; every line of tree X
+        # sources from tree X, so a change confined to ``touched`` view trees
+        # only requires rebuilding the same-named system trees.
+        touched = set(touched)
+        result = ConfigSet()
+        for name in touched:
+            if name not in view_set or name not in original:
+                return None
+            result.add(original.get(name).clone())
+        for name in touched:
+            for line in view_set.get(name).root.children_of_kind("line"):
+                if line.get("source_tree") not in touched:
+                    # a cross-file line was grafted in; localisation is unsound
+                    return None
                 self._apply_line(line, result)
         return result
 

@@ -34,7 +34,6 @@ from repro.core.templates.base import (
     InsertOperation,
     NodeAddress,
     SetFieldOperation,
-    address_of,
 )
 from repro.core.views.dns_view import DnsRecordView, VIEW_TREE_NAME, make_record_node
 from repro.errors import PluginError
@@ -89,9 +88,13 @@ class DnsSemanticErrorsPlugin(ErrorGeneratorPlugin):
     def _records(view_set: ConfigSet, rtype: str | None = None) -> list[tuple[ConfigNode, NodeAddress]]:
         tree = view_set.get(VIEW_TREE_NAME)
         result = []
-        for node in tree.root.children_of_kind("dns-record"):
+        # records are direct children of the root: their address is just the
+        # child index, computed in one enumerate pass (no per-node up-walk)
+        for index, node in enumerate(tree.root.children):
+            if node.kind != "dns-record":
+                continue
             if rtype is None or node.get("rtype") == rtype:
-                result.append((node, address_of(view_set, node)))
+                result.append((node, NodeAddress(VIEW_TREE_NAME, (index,))))
         return result
 
     @staticmethod

@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
 from repro.core.infoset import ConfigNode, ConfigSet
-from repro.core.templates.base import FaultScenario, SetFieldOperation, address_of
+from repro.core.templates.base import AddressIndex, FaultScenario, SetFieldOperation
 from repro.core.templates.primitives import ModifyTemplate
 from repro.core.views.token_view import (
     TOKEN_DIRECTIVE_NAME,
@@ -255,13 +255,14 @@ class SpellingMistakesPlugin(ErrorGeneratorPlugin):
     def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         scenarios: list[FaultScenario] = []
         ordinal = 0
+        addresses = AddressIndex(view_set)
         for token in self.target_tokens(view_set):
             candidates = self.mutations_for_token(token)
             if not candidates:
                 continue
             if self.mutations_per_token is not None and len(candidates) > self.mutations_per_token:
                 candidates = rng.sample(candidates, self.mutations_per_token)
-            address = address_of(view_set, token)
+            address = addresses.address_of(token)
             original = token.value or ""
             for model, variant in candidates:
                 scenarios.append(

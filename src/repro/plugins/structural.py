@@ -28,7 +28,6 @@ from repro.core.templates.base import (
     NodeAddress,
     Operation,
     SetFieldOperation,
-    address_of,
     resolve_address,
 )
 from repro.core.templates.compose import RandomSubsetTemplate, UnionTemplate
@@ -73,6 +72,19 @@ class PermuteChildrenOperation(Operation):
         reordered = [children[old_index] for old_index in self.permutation]
         reordered.extend(children[len(self.permutation):])
         parent.children = reordered
+
+    def apply_with_undo(self, config_set: ConfigSet):
+        parent = resolve_address(config_set, self.parent)
+        before = list(parent.children)
+        self.apply(config_set)
+
+        def undo() -> None:
+            parent.children = before
+
+        return undo
+
+    def touched_trees(self) -> frozenset[str]:
+        return frozenset({self.parent.tree})
 
     def describe(self) -> str:
         return f"permute children of {self.parent} to order {self.permutation}"
@@ -223,18 +235,18 @@ class StructuralVariationsPlugin(ErrorGeneratorPlugin):
         """Nodes that hold directives, with their addresses."""
         containers = []
         for tree in view_set:
-            for node in tree.walk():
+            for node, path in tree.root.walk_with_paths():
                 if node.kind in ("file", "section") and node.children_of_kind("directive"):
-                    containers.append((node, address_of(view_set, node)))
+                    containers.append((node, NodeAddress(tree.name, path)))
         return containers
 
     @staticmethod
     def _directives(view_set: ConfigSet) -> list[tuple[ConfigNode, NodeAddress]]:
         directives = []
         for tree in view_set:
-            for node in tree.walk():
+            for node, path in tree.root.walk_with_paths():
                 if node.kind == "directive" and node.name:
-                    directives.append((node, address_of(view_set, node)))
+                    directives.append((node, NodeAddress(tree.name, path)))
         return directives
 
     # --------------------------------------------------------------- generate

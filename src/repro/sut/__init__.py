@@ -20,5 +20,6 @@ provides:
 """
 
 from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest, TestResult
+from repro.sut.latency import LatencySUT
 
-__all__ = ["SystemUnderTest", "StartResult", "FunctionalTest", "TestResult"]
+__all__ = ["SystemUnderTest", "StartResult", "FunctionalTest", "TestResult", "LatencySUT"]

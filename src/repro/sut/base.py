@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
-__all__ = ["StartResult", "TestResult", "FunctionalTest", "SystemUnderTest"]
+__all__ = ["StartResult", "TestResult", "FunctionalTest", "SystemUnderTest", "split_sut"]
 
 
 @dataclass
@@ -98,3 +98,20 @@ class SystemUnderTest(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def split_sut(
+    sut: "SystemUnderTest | Callable[[], SystemUnderTest]",
+) -> tuple["SystemUnderTest", "Callable[[], SystemUnderTest] | None"]:
+    """Normalise a SUT-or-factory into ``(instance, factory-or-None)``.
+
+    Experiment drivers accept either a live SUT or a zero-argument factory
+    (the class itself, a ``functools.partial``, ...).  The factory variant is
+    what enables parallel execution -- each worker builds a private instance
+    -- so it is preserved alongside the instantiated SUT.
+    """
+    if isinstance(sut, SystemUnderTest):
+        return sut, None
+    if callable(sut):
+        return sut(), sut
+    raise TypeError(f"expected a SystemUnderTest or factory, got {type(sut).__name__}")

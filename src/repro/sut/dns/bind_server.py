@@ -26,7 +26,7 @@ from repro.dns.resolver import ResolutionError, Resolver
 from repro.errors import ParseError
 from repro.parsers.base import get_dialect
 from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest
-from repro.sut.dns.zonedata import config_set_to_records
+from repro.sut.dns.zonedata import RecordDataError, config_set_to_records
 from repro.sut.functional import dns_suite
 
 __all__ = ["SimulatedBIND", "DEFAULT_NAMED_CONF", "DEFAULT_FORWARD_ZONE", "DEFAULT_REVERSE_ZONE"]
@@ -153,7 +153,10 @@ class SimulatedBIND(SystemUnderTest):
             except ParseError as exc:
                 return StartResult.failed(f"zone '{zone_name}': {exc}")
 
-        records = config_set_to_records(config_set)
+        try:
+            records = config_set_to_records(config_set)
+        except RecordDataError as exc:
+            return StartResult.failed(f"zone data rejected: {exc}")
         errors = self.check_zones(zones, records)
         if errors:
             return StartResult.failed(*errors)

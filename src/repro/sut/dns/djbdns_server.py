@@ -22,7 +22,7 @@ from repro.dns.resolver import ResolutionError, Resolver
 from repro.errors import ParseError
 from repro.parsers.base import get_dialect
 from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest
-from repro.sut.dns.zonedata import config_set_to_records
+from repro.sut.dns.zonedata import RecordDataError, config_set_to_records
 from repro.sut.functional import dns_suite
 
 __all__ = ["SimulatedDjbdns", "DEFAULT_TINYDNS_DATA"]
@@ -113,7 +113,10 @@ class SimulatedDjbdns(SystemUnderTest):
                     f"tinydns-data: generic record type '{fields[0]}' is not a number"
                 )
 
-        records = config_set_to_records(ConfigSet([tree]))
+        try:
+            records = config_set_to_records(ConfigSet([tree]))
+        except RecordDataError as exc:
+            return StartResult.failed(f"tinydns-data: {exc}")
         self._records = records
         self._resolver = Resolver(records)
         return StartResult.ok()

@@ -15,23 +15,43 @@ from repro.core.views.dns_view import DnsRecordView, VIEW_TREE_NAME
 from repro.dns.records import DnsRecord, RecordSet
 from repro.parsers.base import get_dialect
 
-__all__ = ["config_set_to_records", "records_from_files"]
+__all__ = ["RecordDataError", "config_set_to_records", "records_from_files"]
+
+
+class RecordDataError(ValueError):
+    """Record data that parses syntactically but is not loadable.
+
+    Real servers reject such zones at load time (e.g. ``named`` refuses a
+    non-numeric TTL); the simulated servers convert this into a failed start.
+    """
+
+
+def _numeric(text: object, what: str, owner: str) -> int:
+    try:
+        return int(text)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise RecordDataError(f"{what} {text!r} of record {owner!r} is not a number") from None
 
 
 def config_set_to_records(config_set: ConfigSet) -> RecordSet:
-    """Convert parsed zone/data file trees into a :class:`RecordSet`."""
+    """Convert parsed zone/data file trees into a :class:`RecordSet`.
+
+    Raises :class:`RecordDataError` for data a real server would refuse to
+    load (non-numeric TTLs or priorities).
+    """
     view = DnsRecordView().transform(config_set)
     record_set = RecordSet()
     for node in view.get(VIEW_TREE_NAME).root.children_of_kind("dns-record"):
         priority = node.get("priority")
         ttl = node.get("ttl")
+        owner = node.name or ""
         record_set.add(
             DnsRecord(
-                name=node.name or "",
+                name=owner,
                 rtype=node.get("rtype", "A"),
                 value=node.value or "",
-                priority=int(priority) if priority is not None else None,
-                ttl=int(ttl) if ttl not in (None, "") else None,
+                priority=_numeric(priority, "priority", owner) if priority is not None else None,
+                ttl=_numeric(ttl, "TTL", owner) if ttl not in (None, "") else None,
                 metadata={"source_file": node.get("source_file")},
             )
         )

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.campaign import Campaign
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.errors import CampaignError
 from repro.plugins import SpellingMistakesPlugin, StructuralErrorsPlugin
 from repro.sut.postgres import SimulatedPostgres
@@ -60,3 +61,54 @@ class TestCampaign:
         )
         result = campaign.run()
         assert len(result.overall) > 0
+
+    def test_accepts_sut_factory(self):
+        campaign = Campaign(
+            SimulatedPostgres, [SpellingMistakesPlugin(mutations_per_token=1)], seed=3
+        )
+        result = campaign.run()
+        assert result.system_name == "Postgres"
+        assert len(result.overall) > 0
+
+
+def _record(scenario_id: str) -> InjectionRecord:
+    return InjectionRecord(
+        scenario_id=scenario_id,
+        category="test",
+        description="",
+        outcome=InjectionOutcome.IGNORED,
+    )
+
+
+class TestOverallCache:
+    def test_overall_is_memoized(self):
+        result = CampaignResult("sys", {"a": ResilienceProfile("sys", [_record("r1")])})
+        assert result.overall is result.overall
+
+    def test_add_profile_invalidates_the_cache(self):
+        result = CampaignResult("sys", {"a": ResilienceProfile("sys", [_record("r1")])})
+        first = result.overall
+        assert len(first) == 1
+        result.add_profile("b", ResilienceProfile("sys", [_record("r2")]))
+        second = result.overall
+        assert second is not first
+        assert [r.scenario_id for r in second] == ["r1", "r2"]
+
+    def test_explicit_invalidate_recomputes(self):
+        result = CampaignResult("sys", {"a": ResilienceProfile("sys", [_record("r1")])})
+        first = result.overall
+        result.per_plugin["a"].add(_record("r2"))  # direct mutation bypasses the cache
+        assert len(result.overall) == 1
+        result.invalidate()
+        assert len(result.overall) == 2
+        assert result.overall is not first
+
+    def test_cached_overall_preserves_merge_semantics(self):
+        profiles = {
+            "a": ResilienceProfile("sys", [_record("r1")]),
+            "b": ResilienceProfile("sys", [_record("r2"), _record("r3")]),
+        }
+        result = CampaignResult("sys", dict(profiles))
+        merged = result.overall
+        assert len(merged) == 3
+        assert merged.system_name == "sys"

@@ -1,0 +1,144 @@
+"""Executor strategies: determinism, partitioning and factory requirements.
+
+The acceptance bar for the parallel executor is that profiles are
+*byte-identical* whatever the strategy and worker count: same seed in, same
+summary out, for every simulated system the paper studies.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.engine import InjectionEngine
+from repro.core.executor import (
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    ThreadPoolCampaignExecutor,
+    available_executors,
+    partition_scenarios,
+    resolve_executor,
+)
+from repro.core.templates.base import FaultScenario
+from repro.errors import CampaignError
+from repro.plugins import SpellingMistakesPlugin, StructuralErrorsPlugin
+from repro.bench.workloads import simulated_sut_factories
+
+SEED = 2008
+
+
+def _plugins_for(system: str):
+    plugins = [SpellingMistakesPlugin(mutations_per_token=1)]
+    if system in ("mysql", "postgres", "apache"):
+        plugins.append(StructuralErrorsPlugin(include=["omit-directive"]))
+    return plugins
+
+
+def _run(system: str, jobs: int, executor: str | None):
+    factory = simulated_sut_factories()[system]
+    campaign = Campaign(
+        factory,
+        _plugins_for(system),
+        seed=SEED,
+        check_baseline=False,
+        jobs=jobs,
+        executor=executor,
+    )
+    overall = campaign.run().overall
+    return overall.summary(), [record.scenario_id for record in overall]
+
+
+class TestDeterminismAcrossStrategies:
+    """Same seed => byte-identical summaries for every strategy and SUT."""
+
+    @pytest.mark.parametrize("system", sorted(simulated_sut_factories()))
+    def test_thread_and_process_match_serial(self, system):
+        serial_summary, serial_ids = _run(system, jobs=1, executor=None)
+        thread_summary, thread_ids = _run(system, jobs=4, executor="thread")
+        process_summary, process_ids = _run(system, jobs=4, executor="process")
+        assert serial_ids, f"no scenarios generated for {system}"
+        assert thread_summary == serial_summary
+        assert thread_ids == serial_ids
+        assert process_summary == serial_summary
+        assert process_ids == serial_ids
+
+    def test_explicit_serial_strategy_matches_inline_serial(self):
+        inline_summary, inline_ids = _run("postgres", jobs=1, executor=None)
+        strategy_summary, strategy_ids = _run("postgres", jobs=1, executor="serial")
+        assert strategy_summary == inline_summary
+        assert strategy_ids == inline_ids
+
+    def test_worker_count_does_not_change_profiles(self):
+        baseline = _run("mysql", jobs=2, executor="thread")
+        for jobs in (3, 7):
+            assert _run("mysql", jobs=jobs, executor="thread") == baseline
+
+
+class TestPartitioning:
+    def _scenarios(self, count):
+        return [FaultScenario(f"s{i}", "", "test") for i in range(count)]
+
+    def test_chunks_are_contiguous_and_cover_everything(self):
+        chunks = partition_scenarios(self._scenarios(10), 4)
+        assert len(chunks) == 4
+        flat = [index for chunk in chunks for index, _ in chunk]
+        assert flat == list(range(10))
+
+    def test_more_jobs_than_scenarios(self):
+        chunks = partition_scenarios(self._scenarios(2), 8)
+        assert len(chunks) == 2
+        assert all(len(chunk) == 1 for chunk in chunks)
+
+    def test_empty_scenario_list(self):
+        assert partition_scenarios([], 4) == []
+
+
+class TestResolution:
+    def test_available_executors(self):
+        assert available_executors() == ["process", "serial", "thread"]
+
+    def test_default_is_inline_serial(self):
+        assert resolve_executor(None, 1) is None
+
+    def test_default_parallel_is_threads(self):
+        strategy = resolve_executor(None, 4)
+        assert isinstance(strategy, ThreadPoolCampaignExecutor)
+        assert strategy.jobs == 4
+
+    def test_explicit_strategies(self):
+        assert isinstance(resolve_executor("serial", 1), SerialExecutor)
+        assert isinstance(resolve_executor("process", 2), ProcessPoolCampaignExecutor)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CampaignError):
+            resolve_executor("gpu", 2)
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(CampaignError):
+            ThreadPoolCampaignExecutor(jobs=0)
+
+
+class TestFactoryRequirement:
+    def test_parallel_run_without_factory_raises(self):
+        sut = simulated_sut_factories()["postgres"]()
+        engine = InjectionEngine(sut, SpellingMistakesPlugin(mutations_per_token=1), jobs=4)
+        with pytest.raises(CampaignError, match="factory"):
+            engine.run()
+
+    def test_engine_accepts_class_as_factory(self):
+        factory = simulated_sut_factories()["postgres"]
+        engine = InjectionEngine(factory, SpellingMistakesPlugin(mutations_per_token=1), jobs=2)
+        assert engine.sut_factory is factory
+        assert engine.sut.name == "Postgres"
+
+    def test_observer_sees_records_in_scenario_order(self):
+        factory = simulated_sut_factories()["postgres"]
+        seen: list[str] = []
+        engine = InjectionEngine(
+            factory,
+            SpellingMistakesPlugin(mutations_per_token=1),
+            seed=SEED,
+            observer=lambda record: seen.append(record.scenario_id),
+            jobs=4,
+            executor="thread",
+        )
+        profile = engine.run()
+        assert seen == [record.scenario_id for record in profile]

@@ -19,6 +19,19 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["run", "--system", "mysql"])
         assert args.plugin == "spelling" and args.seed == 2008
+        assert args.jobs == 1 and args.executor is None
+
+    def test_jobs_and_executor_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--system", "mysql", "--jobs", "4", "--executor", "thread"]
+        )
+        assert args.jobs == 4 and args.executor == "thread"
+        args = build_parser().parse_args(["table1", "-j", "2"])
+        assert args.jobs == 2
+
+    def test_executor_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "mysql", "--executor", "gpu"])
 
 
 class TestCommands:
@@ -32,6 +45,15 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Resilience profile for Postgres" in output
         assert "detection rate" in output
+
+    def test_run_parallel_matches_serial(self, capsys):
+        assert main(["run", "--system", "postgres", "--plugin", "spelling"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(
+            ["run", "--system", "postgres", "--plugin", "spelling", "--jobs", "3",
+             "--executor", "thread"]
+        ) == 0
+        assert capsys.readouterr().out == serial_output
 
     def test_run_command_json_output(self, capsys):
         assert main(["run", "--system", "djbdns", "--plugin", "semantic-dns", "--json"]) == 0
