@@ -12,10 +12,10 @@ The ``benchmarks/`` pytest-benchmark suite and the ``conferr`` CLI both call
 into these runners; EXPERIMENTS.md records paper-vs-measured values.
 """
 
-from repro.bench.table1 import Table1Result, run_table1
-from repro.bench.table2 import Table2Result, run_table2
-from repro.bench.table3 import Table3Result, run_table3
-from repro.bench.figure3 import Figure3Result, run_figure3
+from repro.bench.table1 import Table1Result, run_table1, table1_from_store
+from repro.bench.table2 import Table2Result, run_table2, table2_from_store
+from repro.bench.table3 import Table3Result, run_table3, table3_from_store
+from repro.bench.figure3 import Figure3Result, figure3_from_store, run_figure3
 from repro.bench.timing import ThroughputResult, campaign_throughput, time_single_injection
 
 __all__ = [
@@ -23,6 +23,10 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_figure3",
+    "table1_from_store",
+    "table2_from_store",
+    "table3_from_store",
+    "figure3_from_store",
     "time_single_injection",
     "campaign_throughput",
     "ThroughputResult",

@@ -22,13 +22,21 @@ from typing import Callable
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
-from repro.core.report import detection_distribution, render_distribution_chart
+from repro.core.report import (
+    detection_distribution,
+    per_directive_detection_rates,
+    render_distribution_chart,
+)
+from repro.core.store import ResultStore
 from repro.core.views.token_view import TOKEN_DIRECTIVE_VALUE
 from repro.bench.workloads import comparison_sut_factories
 from repro.plugins.spelling import SpellingMistakesPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Figure3Result", "run_figure3", "run_figure3_for"]
+__all__ = ["Figure3Result", "run_figure3", "run_figure3_for", "figure3_from_store"]
+
+#: Store campaign key for the one plugin the comparison runs per system.
+FIGURE3_CAMPAIGN = "value-typos"
 
 
 @dataclass
@@ -51,6 +59,8 @@ def run_figure3_for(
     experiments_per_directive: int = 20,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
+    system_key: str | None = None,
 ) -> tuple[dict[str, float], ResilienceProfile]:
     """Run the comparison procedure for one system.
 
@@ -61,20 +71,21 @@ def run_figure3_for(
         token_types=(TOKEN_DIRECTIVE_VALUE,),
         mutations_per_token=experiments_per_directive,
     )
+    observer = None
+    if store is not None:
+        key = system_key or sut.name
+        observer = lambda record, key=key: store.append(key, FIGURE3_CAMPAIGN, record)
     engine = InjectionEngine(
-        sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+        sut,
+        plugin,
+        seed=seed,
+        observer=observer,
+        sut_factory=sut_factory,
+        jobs=jobs,
+        executor=executor,
     )
     profile = engine.run()
-
-    rates: dict[str, float] = {}
-    for directive, sub_profile in profile.by_metadata("directive").items():
-        if directive is None:
-            continue
-        injected = sub_profile.injected_count()
-        if injected == 0:
-            continue
-        rates[str(directive)] = sub_profile.detected_count() / injected
-    return rates, profile
+    return per_directive_detection_rates(profile), profile
 
 
 def run_figure3(
@@ -83,9 +94,26 @@ def run_figure3(
     systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
 ) -> Figure3Result:
-    """Run the Figure 3 comparison for MySQL and Postgres."""
+    """Run the Figure 3 comparison for MySQL and Postgres.
+
+    With a ``store`` the per-system records are persisted under the
+    :data:`FIGURE3_CAMPAIGN` key; :func:`figure3_from_store` re-renders the
+    distributions from those records.
+    """
     suts = systems if systems is not None else comparison_sut_factories()
+    if store is not None:
+        store.ensure_fresh().write_manifest(
+            {
+                "kind": "figure3",
+                "seed": seed,
+                "systems": {name: name for name in suts},
+                "plugins": [{"name": FIGURE3_CAMPAIGN, "params": {}}],
+                "layout": None,
+                "params": {"experiments_per_directive": experiments_per_directive},
+            }
+        )
     per_directive_rates: dict[str, dict[str, float]] = {}
     distributions: dict[str, dict[str, float]] = {}
     profiles: dict[str, ResilienceProfile] = {}
@@ -96,10 +124,34 @@ def run_figure3(
             experiments_per_directive=experiments_per_directive,
             jobs=jobs,
             executor=executor,
+            store=store,
+            system_key=name,
         )
         per_directive_rates[name] = rates
         distributions[name] = detection_distribution(rates)
         profiles[name] = profile
+    return Figure3Result(
+        per_directive_rates=per_directive_rates,
+        distributions=distributions,
+        profiles=profiles,
+        chart_text=render_distribution_chart(distributions),
+    )
+
+
+def figure3_from_store(store: ResultStore) -> Figure3Result:
+    """Rebuild a :class:`Figure3Result` from records on disk.
+
+    The per-directive detection rates are recomputed from the stored
+    records' metadata, exactly as the live run computes them.
+    """
+    store.require_kind("figure3", "suite")
+    per_directive_rates: dict[str, dict[str, float]] = {}
+    distributions: dict[str, dict[str, float]] = {}
+    profiles = store.merged_profiles()
+    for name, profile in profiles.items():
+        rates = per_directive_detection_rates(profile)
+        per_directive_rates[name] = rates
+        distributions[name] = detection_distribution(rates)
     return Figure3Result(
         per_directive_rates=per_directive_rates,
         distributions=distributions,

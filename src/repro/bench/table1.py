@@ -22,13 +22,17 @@ from typing import Callable
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import typo_resilience_table
+from repro.core.store import ResultStore
 from repro.core.views.token_view import TOKEN_DIRECTIVE_NAME, TOKEN_DIRECTIVE_VALUE, TokenView
 from repro.bench.workloads import typo_benchmark_sut_factories
 from repro.plugins.spelling import SpellingMistakesPlugin
 from repro.plugins.structural import StructuralErrorsPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Table1Result", "run_table1", "run_table1_for"]
+__all__ = ["Table1Result", "run_table1", "run_table1_for", "table1_from_store"]
+
+#: Store campaign keys for the three Table 1 error classes, in run order.
+TABLE1_CAMPAIGNS = ("omit-directive", "name-typos", "value-typos")
 
 
 @dataclass
@@ -88,12 +92,16 @@ def run_table1_for(
     typos_per_directive: int = 10,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
+    system_key: str | None = None,
 ) -> ResilienceProfile:
     """Run the three Table 1 error classes against one SUT and merge the profiles.
 
     ``sut`` may be an instance or a factory; ``jobs``/``executor`` fan the
     scenarios of each error class out across workers (note that the token
     filters are closures, so the thread strategy is the parallel option here).
+    When ``store`` is given, every record is appended under the system's key
+    and the error class's :data:`TABLE1_CAMPAIGNS` campaign name.
     """
     sut, sut_factory = split_sut(sut)
     selected = _selected_directive_paths(sut, directives_per_section, seed)
@@ -113,9 +121,19 @@ def run_table1_for(
         ),
     ]
     merged = ResilienceProfile(sut.name)
-    for offset, plugin in enumerate(plugins):
+    for offset, (campaign_name, plugin) in enumerate(zip(TABLE1_CAMPAIGNS, plugins)):
+        observer = None
+        if store is not None:
+            key = system_key or sut.name
+            observer = lambda record, key=key, name=campaign_name: store.append(key, name, record)
         engine = InjectionEngine(
-            sut, plugin, seed=seed + offset, sut_factory=sut_factory, jobs=jobs, executor=executor
+            sut,
+            plugin,
+            seed=seed + offset,
+            observer=observer,
+            sut_factory=sut_factory,
+            jobs=jobs,
+            executor=executor,
         )
         merged.extend(engine.run().records)
     return merged
@@ -128,9 +146,29 @@ def run_table1(
     systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
 ) -> Table1Result:
-    """Run the Table 1 experiment for MySQL, Postgres and Apache."""
+    """Run the Table 1 experiment for MySQL, Postgres and Apache.
+
+    With a ``store`` the records are persisted as they land, so
+    :func:`table1_from_store` can re-render the table later without
+    re-running any injections.
+    """
     suts = systems if systems is not None else typo_benchmark_sut_factories()
+    if store is not None:
+        store.ensure_fresh().write_manifest(
+            {
+                "kind": "table1",
+                "seed": seed,
+                "systems": {name: name for name in suts},
+                "plugins": [{"name": name, "params": {}} for name in TABLE1_CAMPAIGNS],
+                "layout": None,
+                "params": {
+                    "directives_per_section": directives_per_section,
+                    "typos_per_directive": typos_per_directive,
+                },
+            }
+        )
     profiles = {
         name: run_table1_for(
             sut,
@@ -139,7 +177,21 @@ def run_table1(
             typos_per_directive=typos_per_directive,
             jobs=jobs,
             executor=executor,
+            store=store,
+            system_key=name,
         )
         for name, sut in suts.items()
     }
+    return Table1Result(profiles=profiles, table_text=typo_resilience_table(profiles))
+
+
+def table1_from_store(store: ResultStore) -> Table1Result:
+    """Rebuild a :class:`Table1Result` from records on disk.
+
+    Works for stores written by :func:`run_table1` and for campaign-suite
+    stores alike: each system's campaigns are merged into one profile and
+    rendered through the same Table 1 layout.
+    """
+    store.require_kind("table1", "suite")
+    profiles = store.merged_profiles()
     return Table1Result(profiles=profiles, table_text=typo_resilience_table(profiles))

@@ -14,13 +14,20 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.engine import InjectionEngine
-from repro.core.profile import InjectionOutcome, ResilienceProfile
-from repro.core.report import structural_support_table
+from repro.core.profile import ResilienceProfile
+from repro.core.report import classify_structural_support, structural_support_table
+from repro.core.store import ResultStore
 from repro.bench.workloads import structural_benchmark_sut_factories
 from repro.plugins.structural import StructuralVariationsPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Table2Result", "run_table2", "VARIATION_LABELS", "APPLICABLE_CLASSES"]
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "table2_from_store",
+    "VARIATION_LABELS",
+    "APPLICABLE_CLASSES",
+]
 
 #: Human-readable row labels, in the paper's order.
 VARIATION_LABELS = {
@@ -56,12 +63,9 @@ class Table2Result:
         return sum(1 for v in values if v == "Yes") / len(values) if values else 0.0
 
 
-def _classify(profile: ResilienceProfile) -> str:
-    """A variation class is supported when every variant is accepted."""
-    if len(profile) == 0:
-        return "n/a"
-    accepted = profile.records_with(InjectionOutcome.IGNORED)
-    return "Yes" if len(accepted) == len(profile) else "No"
+#: Table 2 cell classification; the rule lives in :mod:`repro.core.report`
+#: so the table can also be rebuilt from stored profiles.
+_classify = classify_structural_support
 
 
 def run_table2(
@@ -71,9 +75,31 @@ def run_table2(
     min_truncation: int = 8,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
 ) -> Table2Result:
-    """Run the Table 2 experiment for MySQL, Postgres and Apache."""
+    """Run the Table 2 experiment for MySQL, Postgres and Apache.
+
+    With a ``store`` every variant's record is persisted under the variation
+    label as campaign key; :func:`table2_from_store` re-renders the support
+    matrix from those records.
+    """
     suts = systems if systems is not None else structural_benchmark_sut_factories()
+    if store is not None:
+        store.ensure_fresh().write_manifest(
+            {
+                "kind": "table2",
+                "seed": seed,
+                "systems": {name: name for name in suts},
+                "plugins": [
+                    {"name": "structural-variations", "params": {"classes": list(VARIATION_LABELS)}}
+                ],
+                "layout": None,
+                "params": {
+                    "variants_per_class": variants_per_class,
+                    "min_truncation": min_truncation,
+                },
+            }
+        )
     support: dict[str, dict[str, str]] = {}
     profiles: dict[str, dict[str, ResilienceProfile]] = {}
     for name, sut in suts.items():
@@ -90,12 +116,47 @@ def run_table2(
                 variants_per_class=variants_per_class,
                 min_truncation=min_truncation,
             )
+            observer = None
+            if store is not None:
+                observer = lambda record, key=name, label=label: store.append(key, label, record)
             engine = InjectionEngine(
-                sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+                sut,
+                plugin,
+                seed=seed,
+                observer=observer,
+                sut_factory=sut_factory,
+                jobs=jobs,
+                executor=executor,
             )
             profile = engine.run()
             profiles[name][label] = profile
             support[name][label] = _classify(profile)
+    return Table2Result(
+        support=support, profiles=profiles, table_text=structural_support_table(support)
+    )
+
+
+def table2_from_store(store: ResultStore) -> Table2Result:
+    """Rebuild a :class:`Table2Result` from records on disk.
+
+    Variation classes without stored records classify as "n/a" -- exactly
+    the classes :func:`run_table2` never ran for that system.
+    """
+    store.require_kind("table2")
+    stored = store.load_profiles()
+    support: dict[str, dict[str, str]] = {}
+    profiles: dict[str, dict[str, ResilienceProfile]] = {}
+    for system in store.systems():
+        per_label = stored.get(system, {})
+        support[system] = {}
+        profiles[system] = {}
+        for label in VARIATION_LABELS.values():
+            profile = per_label.get(label)
+            if profile is None:
+                support[system][label] = "n/a"
+                continue
+            profiles[system][label] = profile
+            support[system][label] = _classify(profile)
     return Table2Result(
         support=support, profiles=profiles, table_text=structural_support_table(support)
     )

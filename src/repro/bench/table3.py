@@ -16,13 +16,17 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.engine import InjectionEngine
-from repro.core.profile import InjectionOutcome, ResilienceProfile
-from repro.core.report import semantic_behaviour_table
+from repro.core.profile import ResilienceProfile
+from repro.core.report import classify_semantic_behaviour, semantic_behaviour_table
+from repro.core.store import ResultStore
 from repro.bench.workloads import dns_benchmark_sut_factories
 from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Table3Result", "run_table3", "FAULT_LABELS"]
+__all__ = ["Table3Result", "run_table3", "table3_from_store", "FAULT_LABELS"]
+
+#: Store campaign key for the one plugin Table 3 runs per system.
+TABLE3_CAMPAIGN = "semantic-dns"
 
 #: Fault classes shown in the paper's Table 3, with the row descriptions.
 FAULT_LABELS = {
@@ -46,15 +50,22 @@ class Table3Result:
         return self.behaviour[fault_class_label][system]
 
 
-def _classify(profile: ResilienceProfile) -> str:
-    if len(profile) == 0:
-        return "N/A"
-    counts = profile.outcome_counts()
-    if counts[InjectionOutcome.DETECTED_AT_STARTUP] or counts[InjectionOutcome.DETECTED_BY_TESTS]:
-        return "found"
-    if profile.injected_count() == 0:
-        return "N/A"
-    return "not found"
+#: Table 3 cell classification; the rule lives in :mod:`repro.core.report`
+#: so the table can also be rebuilt from stored profiles.
+_classify = classify_semantic_behaviour
+
+
+def _behaviour_matrix(
+    profiles: dict[str, ResilienceProfile], labels: dict[str, str]
+) -> dict[str, dict[str, str]]:
+    """Classify each (fault class, system) cell from the raw profiles."""
+    behaviour: dict[str, dict[str, str]] = {label: {} for label in labels.values()}
+    for name, profile in profiles.items():
+        by_category = profile.by_category()
+        for fault_class, label in labels.items():
+            class_profile = by_category.get(f"semantic-{fault_class}", ResilienceProfile(name))
+            behaviour[label][name] = _classify(class_profile)
+    return behaviour
 
 
 def run_table3(
@@ -64,26 +75,66 @@ def run_table3(
     fault_classes: dict[str, str] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    store: ResultStore | None = None,
 ) -> Table3Result:
-    """Run the Table 3 experiment for BIND and djbdns."""
+    """Run the Table 3 experiment for BIND and djbdns.
+
+    With a ``store`` the per-system records are persisted under the
+    :data:`TABLE3_CAMPAIGN` key; :func:`table3_from_store` re-renders the
+    behaviour matrix from those records.
+    """
     suts = systems if systems is not None else dns_benchmark_sut_factories()
     labels = fault_classes if fault_classes is not None else FAULT_LABELS
-    behaviour: dict[str, dict[str, str]] = {label: {} for label in labels.values()}
+    if store is not None:
+        store.ensure_fresh().write_manifest(
+            {
+                "kind": "table3",
+                "seed": seed,
+                "systems": {name: name for name in suts},
+                "plugins": [{"name": TABLE3_CAMPAIGN, "params": {"classes": list(labels)}}],
+                "layout": None,
+                "params": {"max_scenarios_per_class": max_scenarios_per_class},
+            }
+        )
     profiles: dict[str, ResilienceProfile] = {}
     for name, sut in suts.items():
         sut, sut_factory = split_sut(sut)
         plugin = DnsSemanticErrorsPlugin(
             classes=list(labels), max_scenarios_per_class=max_scenarios_per_class
         )
+        observer = None
+        if store is not None:
+            observer = lambda record, key=name: store.append(key, TABLE3_CAMPAIGN, record)
         engine = InjectionEngine(
-            sut, plugin, seed=seed, sut_factory=sut_factory, jobs=jobs, executor=executor
+            sut,
+            plugin,
+            seed=seed,
+            observer=observer,
+            sut_factory=sut_factory,
+            jobs=jobs,
+            executor=executor,
         )
-        profile = engine.run()
-        profiles[name] = profile
-        by_category = profile.by_category()
-        for fault_class, label in labels.items():
-            class_profile = by_category.get(f"semantic-{fault_class}", ResilienceProfile(name))
-            behaviour[label][name] = _classify(class_profile)
+        profiles[name] = engine.run()
+    behaviour = _behaviour_matrix(profiles, labels)
+    return Table3Result(
+        behaviour=behaviour,
+        profiles=profiles,
+        table_text=semantic_behaviour_table(behaviour),
+    )
+
+
+def table3_from_store(
+    store: ResultStore, fault_classes: dict[str, str] | None = None
+) -> Table3Result:
+    """Rebuild a :class:`Table3Result` from records on disk.
+
+    The stored records carry their fault class in the scenario category, so
+    the matrix is reclassified exactly as a live run classifies it.
+    """
+    store.require_kind("table3", "suite")
+    labels = fault_classes if fault_classes is not None else FAULT_LABELS
+    profiles = store.merged_profiles()
+    behaviour = _behaviour_matrix(profiles, labels)
     return Table3Result(
         behaviour=behaviour,
         profiles=profiles,

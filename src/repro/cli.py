@@ -4,8 +4,14 @@ Sub-commands
 ------------
 ``conferr run --system mysql --plugin spelling``
     Run one injection campaign against a simulated SUT and print the profile.
+``conferr suite --store results/``
+    Run a whole multi-system, multi-plugin campaign suite, persisting every
+    record; ``--resume`` continues an interrupted suite from the store.
 ``conferr table1`` / ``table2`` / ``table3`` / ``figure3``
-    Regenerate the paper's evaluation artefacts.
+    Regenerate the paper's evaluation artefacts (``--store`` persists the
+    records; ``--from-store`` re-renders from disk without re-running).
+``conferr report``
+    Re-render a saved profile JSON file or a result-store directory.
 ``conferr list``
     Show the available systems, plugins and configuration dialects.
 """
@@ -14,17 +20,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Sequence
 
 from repro.core.campaign import Campaign
-from repro.errors import CampaignError
+from repro.core.store import ResultStore
+from repro.core.suite import CampaignSuite
+from repro.errors import CampaignError, StoreError
 from repro.parsers.base import available_dialects
 from repro.plugins import (
+    ConstraintViolationPlugin,
     DnsSemanticErrorsPlugin,
     SpellingMistakesPlugin,
     StructuralErrorsPlugin,
     StructuralVariationsPlugin,
+    default_constraints,
 )
 from repro.plugins.base import available_plugins
 from repro.sut.apache import SimulatedApache
@@ -43,7 +54,10 @@ _SYSTEMS: dict[str, Callable[[], object]] = {
 }
 
 _PLUGIN_FACTORIES: dict[str, Callable[[argparse.Namespace], object]] = {
-    "spelling": lambda args: SpellingMistakesPlugin(mutations_per_token=args.mutations_per_token),
+    "spelling": lambda args: SpellingMistakesPlugin(
+        mutations_per_token=args.mutations_per_token,
+        layout_name=getattr(args, "layout", None),
+    ),
     "structural": lambda args: StructuralErrorsPlugin(
         max_scenarios_per_class=args.max_scenarios_per_class
     ),
@@ -51,7 +65,14 @@ _PLUGIN_FACTORIES: dict[str, Callable[[argparse.Namespace], object]] = {
     "semantic-dns": lambda args: DnsSemanticErrorsPlugin(
         max_scenarios_per_class=args.max_scenarios_per_class
     ),
+    "semantic-constraints": lambda args: ConstraintViolationPlugin(
+        default_constraints(getattr(args, "system", None))
+    ),
 }
+
+#: Default plugin line-up of ``conferr suite``: the three error classes that
+#: apply to every system (DNS semantic errors only fit the DNS servers).
+_DEFAULT_SUITE_PLUGINS = ("spelling", "structural", "semantic-constraints")
 
 
 def _positive_int(text: str) -> int:
@@ -59,6 +80,36 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def _layout_name(text: str) -> str:
+    """Validate a keyboard-layout name at parse time."""
+    from repro.keyboard.layouts import get_layout
+
+    try:
+        get_layout(text)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0]) from None
+    return text
+
+
+def _csv_of(allowed: Sequence[str], what: str) -> Callable[[str], list[str]]:
+    """argparse type: comma-separated subset of ``allowed``, order-preserving."""
+
+    def parse(text: str) -> list[str]:
+        names = [name.strip() for name in text.split(",") if name.strip()]
+        if not names:
+            raise argparse.ArgumentTypeError(f"expected at least one {what}")
+        seen: dict[str, None] = {}
+        for name in names:
+            if name not in allowed:
+                raise argparse.ArgumentTypeError(
+                    f"unknown {what} {name!r}; available: {', '.join(sorted(allowed))}"
+                )
+            seen.setdefault(name, None)
+        return list(seen)
+
+    return parse
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,14 +142,66 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", choices=sorted(_SYSTEMS), required=True)
     run.add_argument("--plugin", choices=sorted(_PLUGIN_FACTORIES), default="spelling")
     run.add_argument("--seed", type=int, default=2008)
-    run.add_argument("--mutations-per-token", type=int, default=1)
-    run.add_argument("--max-scenarios-per-class", type=int, default=None)
+    run.add_argument("--mutations-per-token", type=_positive_int, default=1)
+    run.add_argument("--max-scenarios-per-class", type=_positive_int, default=None)
+    run.add_argument(
+        "--layout",
+        type=_layout_name,
+        default=None,
+        metavar="NAME",
+        help="keyboard layout for the spelling plugin (default: qwerty-us)",
+    )
     run.add_argument("--json", action="store_true", help="emit the full profile as JSON")
     run.add_argument("--output", metavar="FILE", default=None, help="also save the profile as JSON to FILE")
     _add_executor_arguments(run)
 
-    report = sub.add_parser("report", help="re-render a previously saved resilience profile")
-    report.add_argument("profile_file", help="JSON file written by 'conferr run --output'")
+    suite = sub.add_parser(
+        "suite", help="run a whole multi-system, multi-plugin campaign suite"
+    )
+    suite.add_argument(
+        "--systems",
+        type=_csv_of(tuple(_SYSTEMS), "system"),
+        default=list(_SYSTEMS),
+        metavar="A,B,...",
+        help=f"comma-separated systems (default: all of {','.join(_SYSTEMS)})",
+    )
+    suite.add_argument(
+        "--plugins",
+        type=_csv_of(tuple(_PLUGIN_FACTORIES), "plugin"),
+        default=list(_DEFAULT_SUITE_PLUGINS),
+        metavar="A,B,...",
+        help=f"comma-separated plugins (default: {','.join(_DEFAULT_SUITE_PLUGINS)})",
+    )
+    suite.add_argument("--seed", type=int, default=2008)
+    suite.add_argument("--mutations-per-token", type=_positive_int, default=1)
+    suite.add_argument("--max-scenarios-per-class", type=_positive_int, default=None)
+    suite.add_argument(
+        "--layout",
+        type=_layout_name,
+        default=None,
+        metavar="NAME",
+        help="keyboard layout for the spelling plugin (default: qwerty-us)",
+    )
+    suite.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist every record (and the run manifest) into this directory",
+    )
+    suite.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios whose records are already in --store and continue",
+    )
+    _add_executor_arguments(suite)
+
+    report = sub.add_parser(
+        "report", help="re-render a saved profile JSON file or a result-store directory"
+    )
+    report.add_argument(
+        "profile_file",
+        help="JSON file written by 'conferr run --output', or a --store directory",
+    )
 
     for name, help_text in (
         ("table1", "regenerate Table 1 (resilience to typos)"),
@@ -108,6 +211,19 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         bench = sub.add_parser(name, help=help_text)
         bench.add_argument("--seed", type=int, default=2008)
+        persistence = bench.add_mutually_exclusive_group()
+        persistence.add_argument(
+            "--store",
+            metavar="DIR",
+            default=None,
+            help="persist the run's records into this (fresh) directory",
+        )
+        persistence.add_argument(
+            "--from-store",
+            metavar="DIR",
+            default=None,
+            help="re-render from a stored run instead of re-running injections",
+        )
         _add_executor_arguments(bench)
         if name == "figure3":
             bench.add_argument("--experiments-per-directive", type=int, default=20)
@@ -118,6 +234,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available systems, plugins and dialects")
     return parser
+
+
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -142,9 +260,41 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_suite(args: argparse.Namespace) -> int:
+    plugins = [_PLUGIN_FACTORIES[name](args) for name in args.plugins]
+    suite = CampaignSuite(
+        {key: _SYSTEMS[key] for key in args.systems},
+        plugins,
+        seed=args.seed,
+        layout=args.layout,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+    store = ResultStore(args.store) if args.store else None
+    result = suite.run(store=store, resume=args.resume)
+    print(result.summary())
+    print()
+    print(result.table1())
+    if store is not None:
+        print()
+        print(f"records stored in {store.root}")
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.core.profile import ResilienceProfile
+    from repro.core.report import store_typo_table
 
+    if os.path.isdir(args.profile_file):
+        store = ResultStore(args.profile_file)
+        manifest = store.read_manifest()  # raises StoreError for a plain directory
+        print(f"result store: {store.root} (kind: {manifest.get('kind')}, seed: {manifest.get('seed')})")
+        for profile in store.merged_profiles().values():
+            print()
+            print(profile.summary())
+        print()
+        print(store_typo_table(store))
+        return 0
     profile = ResilienceProfile.load(args.profile_file)
     print(profile.summary())
     print()
@@ -162,48 +312,68 @@ def _command_list(_args: argparse.Namespace) -> int:
 
 
 def _command_table1(args: argparse.Namespace) -> int:
-    from repro.bench import run_table1
+    from repro.bench import run_table1, table1_from_store
 
-    result = run_table1(
-        seed=args.seed,
-        typos_per_directive=args.typos_per_directive,
-        jobs=args.jobs,
-        executor=args.executor,
-    )
+    if args.from_store:
+        result = table1_from_store(ResultStore(args.from_store))
+    else:
+        result = run_table1(
+            seed=args.seed,
+            typos_per_directive=args.typos_per_directive,
+            jobs=args.jobs,
+            executor=args.executor,
+            store=ResultStore(args.store) if args.store else None,
+        )
     print(result.table_text)
     return 0
 
 
 def _command_table2(args: argparse.Namespace) -> int:
-    from repro.bench import run_table2
+    from repro.bench import run_table2, table2_from_store
 
-    result = run_table2(
-        seed=args.seed,
-        variants_per_class=args.variants_per_class,
-        jobs=args.jobs,
-        executor=args.executor,
-    )
+    if args.from_store:
+        result = table2_from_store(ResultStore(args.from_store))
+    else:
+        result = run_table2(
+            seed=args.seed,
+            variants_per_class=args.variants_per_class,
+            jobs=args.jobs,
+            executor=args.executor,
+            store=ResultStore(args.store) if args.store else None,
+        )
     print(result.table_text)
     return 0
 
 
 def _command_table3(args: argparse.Namespace) -> int:
-    from repro.bench import run_table3
+    from repro.bench import run_table3, table3_from_store
 
-    result = run_table3(seed=args.seed, jobs=args.jobs, executor=args.executor)
+    if args.from_store:
+        result = table3_from_store(ResultStore(args.from_store))
+    else:
+        result = run_table3(
+            seed=args.seed,
+            jobs=args.jobs,
+            executor=args.executor,
+            store=ResultStore(args.store) if args.store else None,
+        )
     print(result.table_text)
     return 0
 
 
 def _command_figure3(args: argparse.Namespace) -> int:
-    from repro.bench import run_figure3
+    from repro.bench import figure3_from_store, run_figure3
 
-    result = run_figure3(
-        seed=args.seed,
-        experiments_per_directive=args.experiments_per_directive,
-        jobs=args.jobs,
-        executor=args.executor,
-    )
+    if args.from_store:
+        result = figure3_from_store(ResultStore(args.from_store))
+    else:
+        result = run_figure3(
+            seed=args.seed,
+            experiments_per_directive=args.experiments_per_directive,
+            jobs=args.jobs,
+            executor=args.executor,
+            store=ResultStore(args.store) if args.store else None,
+        )
     print(result.chart_text)
     print()
     print(json.dumps(result.distributions, indent=2))
@@ -216,6 +386,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _command_run,
+        "suite": _command_suite,
         "list": _command_list,
         "report": _command_report,
         "table1": _command_table1,
@@ -225,8 +396,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except CampaignError as exc:
-        # e.g. --executor process with a campaign that cannot be pickled
+    except (CampaignError, StoreError) as exc:
+        # e.g. --executor process with a campaign that cannot be pickled, or
+        # a resume pointed at an incompatible/existing store
         print(f"conferr: error: {exc}", file=sys.stderr)
         return 1
 

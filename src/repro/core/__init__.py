@@ -17,6 +17,10 @@ paper:
 ``engine`` / ``campaign`` / ``profile`` / ``report``
     Orchestration of injection experiments and aggregation of outcomes into
     resilience profiles.
+``suite`` / ``store``
+    Whole multi-system, multi-plugin evaluations as one durable run: the
+    suite fans campaigns out and the store appends every record to disk so
+    an interrupted suite can be resumed.
 """
 
 from repro.core.infoset import ConfigNode, ConfigTree
@@ -29,6 +33,8 @@ from repro.core.executor import (
     ThreadPoolCampaignExecutor,
     available_executors,
 )
+from repro.core.store import ResultStore
+from repro.core.suite import CampaignSuite, SuiteResult, derive_seed
 
 __all__ = [
     "ConfigNode",
@@ -43,4 +49,8 @@ __all__ = [
     "ThreadPoolCampaignExecutor",
     "ProcessPoolCampaignExecutor",
     "available_executors",
+    "ResultStore",
+    "CampaignSuite",
+    "SuiteResult",
+    "derive_seed",
 ]

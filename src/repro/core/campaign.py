@@ -25,10 +25,18 @@ __all__ = ["Campaign", "CampaignResult"]
 
 @dataclass
 class CampaignResult:
-    """Profiles produced by one campaign run."""
+    """Profiles produced by one campaign run.
+
+    ``executed`` and ``skipped`` count, per plugin, the scenarios that were
+    run by this invocation and the ones a ``scenario_filter`` excluded (the
+    resume path of campaign suites reports "replayed 0 scenarios" from
+    these).
+    """
 
     system_name: str
     per_plugin: dict[str, ResilienceProfile]
+    executed: dict[str, int] = field(default_factory=dict)
+    skipped: dict[str, int] = field(default_factory=dict)
     _overall_cache: ResilienceProfile | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -76,6 +84,21 @@ class Campaign:
     ``observer`` fires once per record in scenario order.  With ``jobs == 1``
     it fires live after each injection; with a parallel executor it fires
     only once each plugin's merged results are in.
+
+    Three hooks exist for suite-level orchestration (see
+    :mod:`repro.core.suite`):
+
+    ``seed_for``
+        Overrides the default per-plugin seed (``seed + plugin_index``), e.g.
+        to derive stable per-(system, plugin) seeds from one suite seed.
+    ``scenario_filter``
+        Predicate ``(plugin_name, scenario) -> bool``; scenarios it rejects
+        are skipped without running (the resume path skips scenario ids
+        already in the result store).  Skip counts land in
+        :attr:`CampaignResult.skipped`.
+    ``plugin_observer``
+        Like ``observer`` but receives ``(plugin_name, record)`` -- enough
+        context to append each record to a persistent store as it lands.
     """
 
     sut: SystemUnderTest | Callable[[], SystemUnderTest]
@@ -85,6 +108,11 @@ class Campaign:
     observer: Callable[[InjectionRecord], None] | None = field(default=None, repr=False)
     jobs: int = 1
     executor: str | None = None
+    seed_for: Callable[[ErrorGeneratorPlugin, int], int] | None = field(default=None, repr=False)
+    scenario_filter: Callable[[str, object], bool] | None = field(default=None, repr=False)
+    plugin_observer: Callable[[str, InjectionRecord], None] | None = field(
+        default=None, repr=False
+    )
 
     def run(self) -> CampaignResult:
         """Run every plugin and collect the profiles.
@@ -97,11 +125,14 @@ class Campaign:
         sut, sut_factory = split_sut(self.sut)
         result = CampaignResult(sut.name, {})
         for index, plugin in enumerate(self.plugins):
+            seed = (
+                self.seed + index if self.seed_for is None else self.seed_for(plugin, index)
+            )
             engine = InjectionEngine(
                 sut,
                 plugin,
-                seed=self.seed + index,
-                observer=self.observer,
+                seed=seed,
+                observer=self._observer_for(plugin.name),
                 sut_factory=sut_factory,
                 jobs=self.jobs,
                 executor=self.executor,
@@ -112,5 +143,27 @@ class Campaign:
                     raise CampaignError(
                         "the unmodified configuration is not healthy: " + "; ".join(problems)
                     )
-            result.add_profile(plugin.name, engine.run())
+            skipped = 0
+            if self.scenario_filter is None:
+                profile = engine.run()
+            else:
+                config_set, view_set, scenarios = engine.generate_scenarios()
+                kept = [s for s in scenarios if self.scenario_filter(plugin.name, s)]
+                skipped = len(scenarios) - len(kept)
+                profile = engine.run(kept, config_set=config_set, view_set=view_set)
+            result.add_profile(plugin.name, profile)
+            result.executed[plugin.name] = len(profile)
+            result.skipped[plugin.name] = skipped
         return result
+
+    def _observer_for(self, plugin_name: str) -> Callable[[InjectionRecord], None] | None:
+        """Compose the plain and plugin-aware observers for one plugin run."""
+        if self.plugin_observer is None:
+            return self.observer
+
+        def observe(record: InjectionRecord) -> None:
+            self.plugin_observer(plugin_name, record)
+            if self.observer is not None:
+                self.observer(record)
+
+        return observe

@@ -132,16 +132,35 @@ class InjectionEngine:
             return None
 
     # -------------------------------------------------------------- injection
-    def run(self, scenarios: Sequence[FaultScenario] | None = None) -> ResilienceProfile:
+    def run(
+        self,
+        scenarios: Sequence[FaultScenario] | None = None,
+        *,
+        config_set: ConfigSet | None = None,
+        view_set: ConfigSet | None = None,
+    ) -> ResilienceProfile:
         """Run the full campaign and return the resilience profile.
 
         Records are merged in scenario order whatever the executor strategy
         and worker count, so profiles are seed-stable across ``jobs``
         settings: same records, order and outcomes (hence byte-identical
         summaries); only per-record wall-clock durations vary.
+
+        When ``scenarios`` is given (a pre-generated, possibly filtered list
+        -- the resume path of campaign suites), generation is skipped
+        entirely and exactly those scenarios run.  ``config_set``/``view_set``
+        let a caller that already ran :meth:`generate_scenarios` reuse its
+        parse and view transform instead of paying for them twice.
         """
-        config_set, view_set, generated = self.generate_scenarios()
-        scenario_list = list(scenarios if scenarios is not None else generated)
+        if scenarios is None:
+            config_set, view_set, scenario_list = self.generate_scenarios(config_set)
+            scenario_list = list(scenario_list)
+        else:
+            if config_set is None:
+                config_set = self.parse_initial_configuration()
+            if view_set is None:
+                view_set = self.plugin.view.transform(config_set)
+            scenario_list = list(scenarios)
 
         from repro.core.executor import SerialExecutor, resolve_executor
 

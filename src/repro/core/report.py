@@ -12,6 +12,14 @@ evaluation artefacts:
 * :func:`detection_distribution`      -- Figure 3 (share of directives in the
   poor/fair/good/excellent detection bins),
 * :func:`render_distribution_chart`   -- an ASCII rendering of Figure 3.
+
+The classification rules the evaluation tables apply to raw profiles live
+here too (:func:`classify_structural_support`,
+:func:`classify_semantic_behaviour`, :func:`per_directive_detection_rates`),
+so the paper's artefacts can be rebuilt from any source of profiles --
+a live run or a :class:`~repro.core.store.ResultStore` on disk
+(:func:`store_typo_table` renders Table 1 straight from a store, without
+re-running a single injection).
 """
 
 from __future__ import annotations
@@ -32,6 +40,10 @@ __all__ = [
     "semantic_behaviour_table",
     "detection_distribution",
     "render_distribution_chart",
+    "classify_structural_support",
+    "classify_semantic_behaviour",
+    "per_directive_detection_rates",
+    "store_typo_table",
 ]
 
 
@@ -122,6 +134,58 @@ def semantic_behaviour_table(behaviour: Mapping[str, Mapping[str, str]]) -> str:
         for index, (fault, per_fault) in enumerate(behaviour.items())
     ]
     return format_table(["Err#", "Description of fault", *systems], rows)
+
+
+# ------------------------------------------------------------- classification
+def classify_structural_support(profile: ResilienceProfile) -> str:
+    """Table 2 cell rule: a variation class is supported ("Yes") when every
+    variant is accepted, "No" when at least one is rejected, "n/a" when no
+    variants were run at all."""
+    if len(profile) == 0:
+        return "n/a"
+    accepted = profile.records_with(InjectionOutcome.IGNORED)
+    return "Yes" if len(accepted) == len(profile) else "No"
+
+
+def classify_semantic_behaviour(profile: ResilienceProfile) -> str:
+    """Table 3 cell rule: "found" when at least one scenario of the class was
+    detected, "N/A" when nothing could be injected, "not found" otherwise."""
+    if len(profile) == 0:
+        return "N/A"
+    counts = profile.outcome_counts()
+    if counts[InjectionOutcome.DETECTED_AT_STARTUP] or counts[InjectionOutcome.DETECTED_BY_TESTS]:
+        return "found"
+    if profile.injected_count() == 0:
+        return "N/A"
+    return "not found"
+
+
+def per_directive_detection_rates(profile: ResilienceProfile) -> dict[str, float]:
+    """Figure 3 input: detection rate per targeted directive.
+
+    Directives with no actually-injected scenarios are omitted, as are
+    records without a ``directive`` metadata entry.
+    """
+    rates: dict[str, float] = {}
+    for directive, sub_profile in profile.by_metadata("directive").items():
+        if directive is None:
+            continue
+        injected = sub_profile.injected_count()
+        if injected == 0:
+            continue
+        rates[str(directive)] = sub_profile.detected_count() / injected
+    return rates
+
+
+def store_typo_table(store) -> str:
+    """Render the Table 1 layout from a result store, without re-running.
+
+    ``store`` is a :class:`~repro.core.store.ResultStore`; each system's
+    campaigns are merged into one profile, exactly as a live suite's
+    :meth:`~repro.core.suite.SuiteResult.table1` does -- the two renderings
+    of the same run are byte-identical.
+    """
+    return typo_resilience_table(store.merged_profiles())
 
 
 # ---------------------------------------------------------------------- Figure 3

@@ -1,0 +1,262 @@
+"""Persistent result store: durable, resumable campaign records.
+
+A :class:`ResultStore` is a directory holding
+
+* ``manifest.json`` -- one JSON document describing the run that produced
+  the records: seed, systems, plugin configurations, keyboard layout and
+  executor settings.  The manifest is what makes a store *resumable*: a
+  later invocation can verify it is about to continue the same experiment
+  (same seed and plugin configuration) before skipping work.
+* ``<system>.jsonl`` -- one append-only JSON-Lines file per system.  Each
+  line is ``{"campaign": <name>, "record": <InjectionRecord.to_dict()>}``;
+  records are appended (and flushed) as they land, so an interrupted run
+  loses at most the experiment in flight.
+
+The append-only layout is deliberate: injection campaigns are long, every
+record is immutable once classified, and a crashed or killed run must leave
+a readable prefix behind.  Trailing partial lines (the one write a crash can
+tear) are ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.core.profile import InjectionRecord, ResilienceProfile
+from repro.errors import StoreError
+
+__all__ = ["ResultStore", "MANIFEST_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _filename_for(system: str) -> str:
+    """Map a system key to a safe JSONL file name."""
+    safe = _UNSAFE.sub("_", system)
+    return f"{safe}.jsonl"
+
+
+class ResultStore:
+    """Append-only, per-system JSONL storage for injection records."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._manifest_cache: dict[str, Any] | None = None
+        #: Systems whose JSONL file has been checked for a torn tail already.
+        self._repaired: set[str] = set()
+
+    # ----------------------------------------------------------------- manifest
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def exists(self) -> bool:
+        """Whether this store has been initialised (has a manifest)."""
+        return self.manifest_path.is_file()
+
+    def ensure_fresh(self) -> "ResultStore":
+        """Refuse to write a new run over an existing store; returns self."""
+        if self.exists():
+            raise StoreError(
+                f"result store {self.root} already exists; choose a fresh "
+                "directory (resume it, or re-render it with its from-store reader)"
+            )
+        return self
+
+    def write_manifest(self, manifest: Mapping[str, Any]) -> None:
+        """Initialise the store directory and persist the run manifest."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"version": MANIFEST_VERSION, **manifest}
+        self.manifest_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        self._manifest_cache = payload
+
+    def read_manifest(self) -> dict[str, Any]:
+        """Load the manifest; raises :class:`StoreError` when absent or corrupt.
+
+        The parsed manifest is cached on the instance: the manifest is
+        written once per run, while loading a store reads it many times.
+        """
+        if self._manifest_cache is not None:
+            return self._manifest_cache
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise StoreError(f"no result store at {self.root} (missing {_MANIFEST_NAME})") from None
+        try:
+            manifest = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt manifest in {self.root}: {exc}") from exc
+        version = manifest.get("version")
+        if version != MANIFEST_VERSION:
+            raise StoreError(
+                f"result store {self.root} has manifest version {version!r}; "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        self._manifest_cache = manifest
+        return manifest
+
+    def require_kind(self, *kinds: str) -> dict[str, Any]:
+        """Check the store was produced by one of the given run kinds.
+
+        Guards the ``--from-store`` readers: rendering Table 1 from, say, a
+        table3 store would produce a plausible-looking but wrong artefact.
+        Returns the manifest on success.
+        """
+        manifest = self.read_manifest()
+        kind = manifest.get("kind")
+        if kind not in kinds:
+            raise StoreError(
+                f"result store {self.root} holds a {kind!r} run; "
+                f"this reader needs one of: {', '.join(kinds)}"
+            )
+        return manifest
+
+    def check_compatible(self, manifest: Mapping[str, Any]) -> None:
+        """Verify a resume continues the experiment described by ``manifest``.
+
+        Compares the stored manifest against the one the caller is about to
+        run under; any difference in seed, systems or plugin configuration
+        means the stored scenario ids cannot be trusted to match, so the
+        resume is refused with a pointed message.
+        """
+        stored = self.read_manifest()
+        for field in ("kind", "seed", "systems", "plugins", "layout"):
+            if stored.get(field) != manifest.get(field):
+                raise StoreError(
+                    f"store {self.root} was produced by a different run: "
+                    f"{field} is {stored.get(field)!r} on disk "
+                    f"but {manifest.get(field)!r} now"
+                )
+
+    # ------------------------------------------------------------------ records
+    def path_for(self, system: str) -> Path:
+        return self.root / _filename_for(system)
+
+    def append(self, system: str, campaign: str, record: InjectionRecord) -> None:
+        """Append one record; flushed immediately so interrupts lose at most one."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(system)
+        if system not in self._repaired:
+            # A prior crash may have torn the final line mid-write; appending
+            # straight after it would weld this record onto the garbage and
+            # turn it into an unreadable *interior* line.  Drop the torn tail
+            # instead: its record was never counted as completed (iter_records
+            # skips it), so the scenario simply runs again and re-appends.
+            self._truncate_torn_tail(path)
+            self._repaired.add(system)
+        line = json.dumps({"campaign": campaign, "record": record.to_dict()})
+        with open(path, "ab") as handle:
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+
+    @staticmethod
+    def _truncate_torn_tail(path: Path) -> None:
+        """Truncate ``path`` back to the end of its last complete line."""
+        try:
+            handle = open(path, "rb+")
+        except FileNotFoundError:
+            return
+        with handle:
+            size = handle.seek(0, 2)
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            position, last_newline, chunk = size, -1, 4096
+            while position > 0 and last_newline < 0:
+                start = max(0, position - chunk)
+                handle.seek(start)
+                data = handle.read(position - start)
+                index = data.rfind(b"\n")
+                if index >= 0:
+                    last_newline = start + index
+                position = start
+            handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
+
+    def iter_records(self, system: str) -> Iterator[tuple[str, InjectionRecord]]:
+        """Yield ``(campaign, record)`` pairs for one system, in append order.
+
+        A torn trailing line (crash mid-write) is skipped silently; a corrupt
+        line elsewhere raises :class:`StoreError` since silently dropping
+        interior records would fake completed work on resume.
+        """
+        path = self.path_for(system)
+        if not path.is_file():
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                record = InjectionRecord.from_dict(entry["record"])
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                if number == len(lines):
+                    break  # torn final write from an interrupted run
+                raise StoreError(f"corrupt record at {path}:{number}: {exc}") from exc
+            yield str(entry.get("campaign", "")), record
+
+    def completed_ids(self, system: str) -> set[tuple[str, str]]:
+        """``(campaign, scenario_id)`` pairs already on disk for one system."""
+        return {(campaign, record.scenario_id) for campaign, record in self.iter_records(system)}
+
+    # ------------------------------------------------------------------ loading
+    def systems(self) -> list[str]:
+        """System keys, in manifest order (falling back to on-disk files)."""
+        if self.exists():
+            manifest = self.read_manifest()
+            recorded = manifest.get("systems")
+            if isinstance(recorded, Mapping):
+                return list(recorded)
+        return sorted(path.stem for path in self.root.glob("*.jsonl"))
+
+    def system_display_name(self, system: str) -> str:
+        """Human-readable name for a system key (from the manifest)."""
+        if self.exists():
+            recorded = self.read_manifest().get("systems")
+            if isinstance(recorded, Mapping):
+                name = recorded.get(system)
+                if isinstance(name, str):
+                    return name
+        return system
+
+    def load_profiles(self) -> dict[str, dict[str, ResilienceProfile]]:
+        """Rebuild per-system, per-campaign profiles from disk.
+
+        Returns ``{system_key: {campaign: profile}}``; record order within a
+        campaign is append order, which for a completed run is scenario order.
+        """
+        result: dict[str, dict[str, ResilienceProfile]] = {}
+        for system in self.systems():
+            display = self.system_display_name(system)
+            per_campaign: dict[str, ResilienceProfile] = {}
+            for campaign, record in self.iter_records(system):
+                per_campaign.setdefault(campaign, ResilienceProfile(display)).add(record)
+            result[system] = per_campaign
+        return result
+
+    def merged_profiles(self) -> dict[str, ResilienceProfile]:
+        """One merged profile per system (all campaigns), keyed by display name.
+
+        Two system keys sharing a display name merge into one profile rather
+        than one silently shadowing the other.
+        """
+        merged: dict[str, ResilienceProfile] = {}
+        for system, per_campaign in self.load_profiles().items():
+            display = self.system_display_name(system)
+            profile = merged.setdefault(display, ResilienceProfile(display))
+            for campaign_profile in per_campaign.values():
+                profile.extend(campaign_profile.records)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"

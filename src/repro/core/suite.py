@@ -1,0 +1,255 @@
+"""Campaign suites: whole evaluations as one durable, resumable run.
+
+The paper's evaluation is inherently a *suite*: every table crosses several
+systems with several error classes.  A :class:`CampaignSuite` fans M systems
+x N plugins into per-system campaigns driven through the parallel executor,
+derives a stable seed for every (system, plugin) cell from one suite seed,
+and -- when given a :class:`~repro.core.store.ResultStore` -- appends every
+record to disk as it lands so an interrupted suite can be resumed.
+
+Resumption is scenario-exact: the suite regenerates each cell's scenarios
+from the derived seed (generation is deterministic), skips the scenario ids
+already on disk, and runs only the remainder.  A second run of a completed
+suite therefore replays zero scenarios, and rendering the paper's tables
+from the store is byte-identical to rendering them from the live run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.campaign import Campaign
+from repro.core.profile import InjectionRecord, ResilienceProfile
+from repro.core.report import typo_resilience_table
+from repro.core.store import ResultStore
+from repro.errors import CampaignError, StoreError
+from repro.plugins.base import ErrorGeneratorPlugin
+from repro.sut.base import SystemUnderTest, split_sut
+
+__all__ = ["CampaignSuite", "SuiteResult", "derive_seed"]
+
+
+def derive_seed(suite_seed: int, system: str, plugin: str) -> int:
+    """Stable per-(system, plugin) seed derived from one suite seed.
+
+    Uses a cryptographic digest rather than Python's ``hash`` so the value
+    survives interpreter restarts and ``PYTHONHASHSEED`` -- resuming a suite
+    in a new process must regenerate identical scenario streams.
+    """
+    digest = hashlib.sha256(f"{suite_seed}:{system}:{plugin}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # keep it a positive 63-bit int
+
+
+@dataclass
+class SuiteResult:
+    """Profiles and bookkeeping of one suite invocation.
+
+    ``profiles`` holds the *complete* per-(system, plugin) profiles -- on a
+    resumed run that includes the records reloaded from the store, not just
+    the ones this invocation executed.  ``executed``/``skipped`` count, per
+    system and plugin, the scenarios run now vs. skipped as already stored.
+    """
+
+    system_names: dict[str, str]
+    profiles: dict[str, dict[str, ResilienceProfile]] = field(default_factory=dict)
+    executed: dict[str, dict[str, int]] = field(default_factory=dict)
+    skipped: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def overall(self, system: str) -> ResilienceProfile:
+        """All plugins' records for one system merged into one profile."""
+        merged = ResilienceProfile(self.system_names.get(system, system))
+        for profile in self.profiles.get(system, {}).values():
+            merged.extend(profile.records)
+        return merged
+
+    def overall_profiles(self) -> dict[str, ResilienceProfile]:
+        """Merged per-system profiles keyed by display name, in suite order."""
+        return {self.system_names[key]: self.overall(key) for key in self.profiles}
+
+    def total_executed(self) -> int:
+        """Scenarios actually run by this invocation."""
+        return sum(count for per_plugin in self.executed.values() for count in per_plugin.values())
+
+    def total_skipped(self) -> int:
+        """Scenarios skipped because their records were already stored."""
+        return sum(count for per_plugin in self.skipped.values() for count in per_plugin.values())
+
+    def table1(self) -> str:
+        """Table 1 layout over the suite's merged per-system profiles."""
+        return typo_resilience_table(self.overall_profiles())
+
+    def summary(self) -> str:
+        """Multi-line human-readable overview of the whole suite."""
+        lines = []
+        for key in self.profiles:
+            profile = self.overall(key)
+            lines.append(
+                f"{self.system_names.get(key, key)}: "
+                f"{profile.injected_count()} injected, "
+                f"{profile.detected_count()} detected "
+                f"({profile.detection_rate():.1%}), "
+                f"{profile.ignored_count()} ignored"
+            )
+        lines.append(
+            f"scenarios executed: {self.total_executed()}, "
+            f"skipped (already stored): {self.total_skipped()}"
+        )
+        return "\n".join(lines)
+
+
+class CampaignSuite:
+    """M systems x N plugins, one seed, one optional persistent store.
+
+    Parameters
+    ----------
+    systems:
+        Mapping of system key (used for store file names and seed
+        derivation) to a zero-argument SUT factory.
+    plugins:
+        The error-generator plugins to run against every system.  Plugin
+        names must be unique: they key the per-campaign records in the
+        store.
+    seed:
+        The one suite seed; every (system, plugin) campaign runs under
+        :func:`derive_seed` of it.
+    layout:
+        Keyboard-layout name recorded in the manifest (informational; the
+        spelling plugin itself carries the layout used for generation).
+    jobs / executor:
+        Worker fan-out per campaign, as in :class:`~repro.core.campaign.Campaign`.
+    """
+
+    def __init__(
+        self,
+        systems: Mapping[str, Callable[[], SystemUnderTest]],
+        plugins: Sequence[ErrorGeneratorPlugin],
+        *,
+        seed: int = 2008,
+        layout: str | None = None,
+        jobs: int = 1,
+        executor: str | None = None,
+        check_baseline: bool = True,
+    ):
+        if not systems:
+            raise CampaignError("a suite needs at least one system")
+        if not plugins:
+            raise CampaignError("a suite needs at least one plugin")
+        names = [plugin.name for plugin in plugins]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise CampaignError(
+                f"plugin names must be unique within a suite, got duplicates: {sorted(duplicates)}"
+            )
+        self.systems = dict(systems)
+        self.plugins = list(plugins)
+        self.seed = seed
+        self.layout = layout
+        self.jobs = jobs
+        self.executor = executor
+        self.check_baseline = check_baseline
+
+    # ----------------------------------------------------------------- manifest
+    def system_names(self) -> dict[str, str]:
+        """Display name of every system, by key (instantiates each factory once).
+
+        Duplicate display names are refused: the rendered tables are keyed
+        by display name, so two systems sharing one would silently collapse
+        into a single column.
+        """
+        names = {key: split_sut(factory)[0].name for key, factory in self.systems.items()}
+        seen: dict[str, str] = {}
+        for key, name in names.items():
+            if name in seen:
+                raise CampaignError(
+                    f"systems {seen[name]!r} and {key!r} share the display name {name!r}; "
+                    "rendered tables would merge them -- give one a distinguishable SUT name"
+                )
+            seen[name] = key
+        return names
+
+    def manifest(self) -> dict[str, Any]:
+        """The run manifest persisted alongside the records."""
+        return {
+            "kind": "suite",
+            "seed": self.seed,
+            "systems": self.system_names(),
+            "plugins": [
+                {"name": plugin.name, "params": plugin.manifest_params()}
+                for plugin in self.plugins
+            ],
+            "layout": self.layout,
+            "executor": {"jobs": self.jobs, "executor": self.executor},
+        }
+
+    def campaign_seed(self, system: str, plugin_name: str) -> int:
+        """Seed of one (system, plugin) campaign."""
+        return derive_seed(self.seed, system, plugin_name)
+
+    # ---------------------------------------------------------------------- run
+    def run(self, store: ResultStore | None = None, resume: bool = False) -> SuiteResult:
+        """Run (or resume) every campaign of the suite.
+
+        With a ``store``, every record is appended to disk as it lands and
+        the manifest is written up front.  With ``resume=True`` the store's
+        manifest is checked for compatibility and scenario ids already on
+        disk are skipped; without it, an existing store is refused rather
+        than silently mixed into.
+        """
+        if resume and store is None:
+            raise CampaignError("resuming needs a result store")
+        manifest = self.manifest()
+        if store is not None:
+            if store.exists():
+                if not resume:
+                    raise StoreError(
+                        f"result store {store.root} already exists; "
+                        "resume it or point at a fresh directory"
+                    )
+                store.check_compatible(manifest)
+            else:
+                store.write_manifest(manifest)
+
+        result = SuiteResult(system_names=dict(manifest["systems"]))
+        for system_key, factory in self.systems.items():
+            prior: dict[str, list[InjectionRecord]] = {}
+            completed: set[tuple[str, str]] = set()
+            if store is not None and resume:
+                for campaign_name, record in store.iter_records(system_key):
+                    prior.setdefault(campaign_name, []).append(record)
+                    completed.add((campaign_name, record.scenario_id))
+
+            campaign = Campaign(
+                factory,
+                self.plugins,
+                seed=self.seed,
+                check_baseline=self.check_baseline,
+                jobs=self.jobs,
+                executor=self.executor,
+                seed_for=lambda plugin, _index, key=system_key: self.campaign_seed(
+                    key, plugin.name
+                ),
+                scenario_filter=(
+                    (lambda name, scenario: (name, scenario.scenario_id) not in completed)
+                    if completed
+                    else None
+                ),
+                plugin_observer=(
+                    (lambda name, record, key=system_key: store.append(key, name, record))
+                    if store is not None
+                    else None
+                ),
+            )
+            campaign_result = campaign.run()
+
+            display = result.system_names[system_key]
+            merged: dict[str, ResilienceProfile] = {}
+            for plugin in self.plugins:
+                records = list(prior.get(plugin.name, []))
+                records.extend(campaign_result.per_plugin[plugin.name].records)
+                merged[plugin.name] = ResilienceProfile(display, records)
+            result.profiles[system_key] = merged
+            result.executed[system_key] = dict(campaign_result.executed)
+            result.skipped[system_key] = dict(campaign_result.skipped)
+        return result

@@ -69,3 +69,8 @@ class SUTError(ConfErrError):
 
 class CampaignError(ConfErrError):
     """An injection campaign was misconfigured."""
+
+
+class StoreError(ConfErrError):
+    """A persistent result store is missing, corrupt, or incompatible with
+    the suite being run (mismatched seed, systems or plugin configuration)."""

@@ -21,7 +21,14 @@ from repro.plugins.base import ErrorGeneratorPlugin, available_plugins, get_plug
 from repro.plugins.spelling import SpellingMistakesPlugin
 from repro.plugins.structural import StructuralErrorsPlugin, StructuralVariationsPlugin
 from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
-from repro.plugins.semantic_db import ConstraintSpec, ConstraintViolationPlugin
+from repro.plugins.semantic_db import (
+    MYSQL_CONSTRAINTS,
+    POSTGRES_CONSTRAINTS,
+    ConstraintSpec,
+    ConstraintViolationPlugin,
+    ScaledRelatedValue,
+    default_constraints,
+)
 
 __all__ = [
     "ErrorGeneratorPlugin",
@@ -34,4 +41,8 @@ __all__ = [
     "DnsSemanticErrorsPlugin",
     "ConstraintSpec",
     "ConstraintViolationPlugin",
+    "ScaledRelatedValue",
+    "MYSQL_CONSTRAINTS",
+    "POSTGRES_CONSTRAINTS",
+    "default_constraints",
 ]

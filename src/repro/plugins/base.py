@@ -36,6 +36,15 @@ class ErrorGeneratorPlugin(ABC):
     def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         """Produce the fault scenarios for one campaign run."""
 
+    def manifest_params(self) -> dict:
+        """JSON-native description of this plugin's configuration.
+
+        Persisted in a result-store manifest so a resumed suite can verify
+        it is continuing the same experiment.  Values must survive a JSON
+        round-trip unchanged (lists, not tuples).
+        """
+        return {}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 

@@ -10,6 +10,14 @@ relation produces a configuration that violates it.
 This plugin takes declarative :class:`ConstraintSpec` descriptions and
 produces scenarios that set one of the related directives to a value breaking
 the constraint while leaving the other untouched.
+
+Two named catalogs ship with the plugin -- :data:`MYSQL_CONSTRAINTS` and
+:data:`POSTGRES_CONSTRAINTS` -- built exclusively from picklable violating-
+value callables (:class:`ScaledRelatedValue`), so constraint campaigns can
+run under the process executor.  :func:`default_constraints` selects the
+catalog for a system (or the combined catalog when the system is unknown:
+generation simply produces no scenarios for directives a configuration does
+not contain).
 """
 
 from __future__ import annotations
@@ -24,7 +32,14 @@ from repro.core.views.structure_view import StructureView
 from repro.errors import PluginError
 from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
 
-__all__ = ["ConstraintSpec", "ConstraintViolationPlugin"]
+__all__ = [
+    "ConstraintSpec",
+    "ConstraintViolationPlugin",
+    "ScaledRelatedValue",
+    "MYSQL_CONSTRAINTS",
+    "POSTGRES_CONSTRAINTS",
+    "default_constraints",
+]
 
 
 @dataclass(frozen=True)
@@ -33,7 +48,9 @@ class ConstraintSpec:
 
     ``violating_value`` receives the current values of the two directives (as
     strings) and returns a new value for ``directive`` that breaks the
-    relation with ``related_directive``.
+    relation with ``related_directive``.  Use a picklable callable (a
+    module-level function or :class:`ScaledRelatedValue`, not a lambda) if
+    the campaign should be runnable under the process executor.
     """
 
     name: str
@@ -41,6 +58,124 @@ class ConstraintSpec:
     related_directive: str
     description: str
     violating_value: Callable[[str | None, str | None], str]
+
+
+_SIZE_MULTIPLIERS = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_config_int(text: str | None, fallback: int) -> int:
+    """Best-effort integer from a configuration value (``"1M"`` -> 1048576).
+
+    Understands optional sign, leading digits, and a single K/M/G multiplier
+    suffix; anything unparsable yields ``fallback`` (the directive's built-in
+    default, which is what the system would use too).
+    """
+    if text is None:
+        return fallback
+    stripped = text.strip().strip("'\"")
+    index = 0
+    if index < len(stripped) and stripped[index] in "+-":
+        index += 1
+    digits_end = index
+    while digits_end < len(stripped) and stripped[digits_end].isdigit():
+        digits_end += 1
+    if digits_end == index:
+        return fallback
+    magnitude = int(stripped[:digits_end])
+    if digits_end < len(stripped):
+        multiplier = _SIZE_MULTIPLIERS.get(stripped[digits_end].lower())
+        if multiplier is not None:
+            magnitude *= multiplier
+    return magnitude
+
+
+@dataclass(frozen=True)
+class ScaledRelatedValue:
+    """Picklable violating value: ``factor * related + offset``.
+
+    ``fallback`` stands in for the related directive's value when it is not
+    present in the configuration (the system falls back to its built-in
+    default in that case, and so must the violation).  The result is clamped
+    at zero -- configuration integers are non-negative.
+    """
+
+    factor: float = 1.0
+    offset: int = 0
+    fallback: int = 0
+
+    def __call__(self, current: str | None, related: str | None) -> str:
+        base = parse_config_int(related, self.fallback)
+        return str(max(0, int(self.factor * base) + self.offset))
+
+
+#: Cross-directive relations of the simulated PostgreSQL server.  The first
+#: is the paper's Section 5.2 example: the free-space-map page pool must be
+#: able to hold at least sixteen pages per tracked relation; Postgres checks
+#: the relation at startup and refuses to come up when it is violated.
+POSTGRES_CONSTRAINTS: tuple[ConstraintSpec, ...] = (
+    ConstraintSpec(
+        name="fsm-pages-vs-relations",
+        directive="max_fsm_pages",
+        related_directive="max_fsm_relations",
+        description="max_fsm_pages must be at least 16 * max_fsm_relations",
+        violating_value=ScaledRelatedValue(factor=16, offset=-16, fallback=1000),
+    ),
+    ConstraintSpec(
+        name="connections-vs-reserved",
+        directive="max_connections",
+        related_directive="superuser_reserved_connections",
+        description="max_connections must exceed superuser_reserved_connections",
+        violating_value=ScaledRelatedValue(factor=1, offset=0, fallback=3),
+    ),
+    ConstraintSpec(
+        name="reserved-vs-connections",
+        directive="superuser_reserved_connections",
+        related_directive="max_connections",
+        description="superuser_reserved_connections must be less than max_connections",
+        violating_value=ScaledRelatedValue(factor=1, offset=0, fallback=100),
+    ),
+)
+
+#: Cross-directive relations of MySQL option files.  MySQL does not check
+#: either relation at startup (values are silently clamped or accepted), so
+#: these scenarios typically land in the "ignored" bucket -- the asymmetry
+#: with Postgres is exactly the paper's point.
+MYSQL_CONSTRAINTS: tuple[ConstraintSpec, ...] = (
+    ConstraintSpec(
+        name="net-buffer-vs-packet",
+        directive="net_buffer_length",
+        related_directive="max_allowed_packet",
+        description="net_buffer_length must not exceed max_allowed_packet",
+        violating_value=ScaledRelatedValue(factor=2, offset=0, fallback=1024**2),
+    ),
+    ConstraintSpec(
+        name="thread-cache-vs-connections",
+        directive="thread_cache_size",
+        related_directive="max_connections",
+        description="thread_cache_size should not exceed max_connections",
+        violating_value=ScaledRelatedValue(factor=2, offset=0, fallback=100),
+    ),
+)
+
+_CATALOGS: dict[str, tuple[ConstraintSpec, ...]] = {
+    "mysql": MYSQL_CONSTRAINTS,
+    "postgres": POSTGRES_CONSTRAINTS,
+    "postgresql": POSTGRES_CONSTRAINTS,
+}
+
+
+def default_constraints(system: str | None = None) -> tuple[ConstraintSpec, ...]:
+    """Constraint catalog for one system, or the combined catalog.
+
+    Directives a configuration does not contain generate no scenarios, so
+    the combined catalog is safe to run against any system -- on Apache or
+    the DNS servers it simply produces an empty campaign.
+    """
+    if system is not None:
+        catalog = _CATALOGS.get(system.strip().lower())
+        if catalog is not None:
+            return catalog
+    return MYSQL_CONSTRAINTS + POSTGRES_CONSTRAINTS
 
 
 def _find_directive(view_set: ConfigSet, name: str) -> tuple[ConfigNode, object] | None:
@@ -58,7 +193,9 @@ class ConstraintViolationPlugin(ErrorGeneratorPlugin):
 
     name = "semantic-constraints"
 
-    def __init__(self, constraints: Sequence[ConstraintSpec]):
+    def __init__(self, constraints: Sequence[ConstraintSpec] | None = None):
+        if constraints is None:
+            constraints = default_constraints()
         if not constraints:
             raise PluginError("ConstraintViolationPlugin requires at least one constraint")
         self.constraints = list(constraints)
@@ -67,6 +204,9 @@ class ConstraintViolationPlugin(ErrorGeneratorPlugin):
     @property
     def view(self) -> StructureView:
         return self._view
+
+    def manifest_params(self) -> dict:
+        return {"constraints": [spec.name for spec in self.constraints]}
 
     def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         scenarios: list[FaultScenario] = []

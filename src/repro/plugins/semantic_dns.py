@@ -83,6 +83,12 @@ class DnsSemanticErrorsPlugin(ErrorGeneratorPlugin):
     def view(self) -> DnsRecordView:
         return self._view
 
+    def manifest_params(self) -> dict:
+        return {
+            "classes": list(self.classes),
+            "max_scenarios_per_class": self.max_scenarios_per_class,
+        }
+
     # ----------------------------------------------------------------- helpers
     @staticmethod
     def _records(view_set: ConfigSet, rtype: str | None = None) -> list[tuple[ConfigNode, NodeAddress]]:

@@ -91,6 +91,11 @@ class InsertionModel(TypoModel):
         if not word:
             return []
         seen: dict[str, None] = {}
+        # A slip can land *before* the first keystroke too: the spurious
+        # character comes from the first intended key or its neighbours
+        # (Section 4.1's insertion model covers both sides of a keypress).
+        for candidate in self.typist.insertion_candidates(word[0]):
+            seen.setdefault(candidate + word, None)
         for index, char in enumerate(word):
             for candidate in self.typist.insertion_candidates(char):
                 seen.setdefault(word[: index + 1] + candidate + word[index + 1:], None)
@@ -214,6 +219,7 @@ class SpellingMistakesPlugin(ErrorGeneratorPlugin):
             typist = Typist(get_layout(layout_name))
         else:
             typist = Typist()
+        self.layout_name = layout_name
         self.token_types = tuple(token_types)
         self.models = list(models) if models is not None else default_models(typist)
         if not self.models:
@@ -225,6 +231,14 @@ class SpellingMistakesPlugin(ErrorGeneratorPlugin):
     @property
     def view(self) -> TokenView:
         return self._view
+
+    def manifest_params(self) -> dict:
+        return {
+            "token_types": list(self.token_types),
+            "models": [model.name for model in self.models],
+            "mutations_per_token": self.mutations_per_token,
+            "layout": self.layout_name,
+        }
 
     # ------------------------------------------------------------------ faults
     def target_tokens(self, view_set: ConfigSet) -> list[ConfigNode]:

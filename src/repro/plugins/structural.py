@@ -136,6 +136,12 @@ class StructuralErrorsPlugin(ErrorGeneratorPlugin):
     def view(self) -> StructureView:
         return self._view
 
+    def manifest_params(self) -> dict:
+        return {
+            "include": list(self.include),
+            "max_scenarios_per_class": self.max_scenarios_per_class,
+        }
+
     def _templates(self) -> list:
         templates = []
         if "omit-directive" in self.include:
@@ -228,6 +234,13 @@ class StructuralVariationsPlugin(ErrorGeneratorPlugin):
     @property
     def view(self) -> StructureView:
         return self._view
+
+    def manifest_params(self) -> dict:
+        return {
+            "classes": list(self.classes),
+            "variants_per_class": self.variants_per_class,
+            "min_truncation": self.min_truncation,
+        }
 
     # ---------------------------------------------------------------- helpers
     @staticmethod

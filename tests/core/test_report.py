@@ -2,8 +2,11 @@
 
 from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.core.report import (
+    classify_semantic_behaviour,
+    classify_structural_support,
     detection_distribution,
     format_table,
+    per_directive_detection_rates,
     render_distribution_chart,
     semantic_behaviour_table,
     structural_support_table,
@@ -47,6 +50,32 @@ class TestTypoResilienceTable:
         text = typo_resilience_table({"Empty": ResilienceProfile("Empty")})
         assert "Empty" in text
 
+    def test_empty_profile_shows_zero_without_percentages(self):
+        lines = typo_resilience_table({"Empty": ResilienceProfile("Empty")}).splitlines()
+        injected_row = next(line for line in lines if "# of Injected Errors" in line)
+        assert injected_row.rstrip().endswith("0")
+        assert "%" not in injected_row
+
+    def test_zero_injected_errors_do_not_divide_by_zero(self):
+        # every record a harness error: nothing was actually injected
+        profile = ResilienceProfile("Sys")
+        for index in range(3):
+            profile.add(
+                InjectionRecord(f"h{index}", "typo", "", InjectionOutcome.HARNESS_ERROR)
+            )
+        lines = typo_resilience_table({"Sys": profile}).splitlines()
+        injected_row = next(line for line in lines if "# of Injected Errors" in line)
+        assert injected_row.split()[-1] == "0"
+
+    def test_mixed_empty_and_populated_systems(self):
+        profiles = {"Full": profile_with(2, 0, 2), "Empty": ResilienceProfile("Empty")}
+        text = typo_resilience_table(profiles)
+        assert "4 (100%)" in text and "Empty" in text
+
+    def test_no_profiles_at_all(self):
+        text = typo_resilience_table({})
+        assert "# of Injected Errors" in text
+
 
 class TestStructuralSupportTable:
     def test_percentage_excludes_na(self):
@@ -64,6 +93,20 @@ class TestStructuralSupportTable:
         text = structural_support_table(support)
         assert text.index("first") < text.index("second")
 
+    def test_system_missing_from_a_row_renders_na(self):
+        # "B" never ran the "only-a" variation class
+        support = {"A": {"only-a": "Yes", "both": "Yes"}, "B": {"both": "No"}}
+        lines = structural_support_table(support).splitlines()
+        row = next(line for line in lines if line.startswith("only-a"))
+        assert "n/a" in row
+
+    def test_system_with_empty_support_mapping(self):
+        text = structural_support_table({"Empty": {}, "Full": {"x": "Yes"}})
+        summary = next(
+            line for line in text.splitlines() if "% of assumptions satisfied" in line
+        )
+        assert "n/a" in summary and "100%" in summary
+
 
 class TestSemanticBehaviourTable:
     def test_rows_are_numbered_and_systems_columned(self):
@@ -75,6 +118,67 @@ class TestSemanticBehaviourTable:
         assert "1" in text and "2" in text
         assert "BIND" in text and "djbdns" in text
         assert "not found" in text and "N/A" in text
+
+    def test_system_missing_from_a_fault_row_renders_na(self):
+        behaviour = {
+            "Missing PTR": {"BIND": "not found"},
+            "MX pointing to CNAME": {"BIND": "found", "djbdns": "not found"},
+        }
+        lines = semantic_behaviour_table(behaviour).splitlines()
+        ptr_row = next(line for line in lines if "Missing PTR" in line)
+        assert "N/A" in ptr_row
+
+    def test_empty_behaviour_mapping(self):
+        text = semantic_behaviour_table({})
+        assert "Description of fault" in text
+
+
+class TestClassification:
+    def make(self, *outcomes):
+        profile = ResilienceProfile("S")
+        for index, outcome in enumerate(outcomes):
+            profile.add(InjectionRecord(f"r{index}", "c", "", outcome))
+        return profile
+
+    def test_structural_support_of_empty_profile_is_na(self):
+        assert classify_structural_support(self.make()) == "n/a"
+
+    def test_structural_support_requires_every_variant_accepted(self):
+        accepted = self.make(InjectionOutcome.IGNORED, InjectionOutcome.IGNORED)
+        rejected = self.make(InjectionOutcome.IGNORED, InjectionOutcome.DETECTED_AT_STARTUP)
+        assert classify_structural_support(accepted) == "Yes"
+        assert classify_structural_support(rejected) == "No"
+
+    def test_semantic_behaviour_of_empty_profile_is_na(self):
+        assert classify_semantic_behaviour(self.make()) == "N/A"
+
+    def test_semantic_behaviour_of_impossible_injections_is_na(self):
+        profile = self.make(
+            InjectionOutcome.INJECTION_IMPOSSIBLE, InjectionOutcome.INJECTION_IMPOSSIBLE
+        )
+        assert classify_semantic_behaviour(profile) == "N/A"
+
+    def test_semantic_behaviour_found_vs_not_found(self):
+        assert classify_semantic_behaviour(self.make(InjectionOutcome.DETECTED_BY_TESTS)) == "found"
+        assert classify_semantic_behaviour(self.make(InjectionOutcome.IGNORED)) == "not found"
+
+    def test_per_directive_rates_skip_missing_and_uninjected(self):
+        profile = ResilienceProfile("S")
+        profile.add(
+            InjectionRecord(
+                "a", "typo", "", InjectionOutcome.DETECTED_AT_STARTUP,
+                metadata={"directive": "port"},
+            )
+        )
+        profile.add(
+            InjectionRecord(
+                "b", "typo", "", InjectionOutcome.INJECTION_IMPOSSIBLE,
+                metadata={"directive": "socket"},
+            )
+        )
+        profile.add(InjectionRecord("c", "typo", "", InjectionOutcome.IGNORED))
+        rates = per_directive_detection_rates(profile)
+        assert rates == {"port": 1.0}
 
 
 class TestDetectionDistribution:

@@ -1,0 +1,200 @@
+"""Tests for campaign suites: fan-out, seed derivation, persistence, resume."""
+
+import pytest
+
+from repro.core.store import ResultStore
+from repro.core.suite import CampaignSuite, derive_seed
+from repro.errors import CampaignError, StoreError
+from repro.plugins import ConstraintViolationPlugin, SpellingMistakesPlugin
+from repro.sut.mysql import SimulatedMySQL
+from repro.sut.postgres import SimulatedPostgres
+
+
+def small_suite(**kwargs) -> CampaignSuite:
+    defaults = dict(seed=11)
+    defaults.update(kwargs)
+    return CampaignSuite(
+        {"mysql": SimulatedMySQL, "postgres": SimulatedPostgres},
+        [
+            SpellingMistakesPlugin(mutations_per_token=1),
+            ConstraintViolationPlugin(),
+        ],
+        **defaults,
+    )
+
+
+class TestSeedDerivation:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "mysql", "spelling") == derive_seed(1, "mysql", "spelling")
+
+    def test_distinct_per_cell(self):
+        seeds = {
+            derive_seed(1, system, plugin)
+            for system in ("mysql", "postgres")
+            for plugin in ("spelling", "structural")
+        }
+        assert len(seeds) == 4
+
+    def test_depends_on_suite_seed(self):
+        assert derive_seed(1, "mysql", "spelling") != derive_seed(2, "mysql", "spelling")
+
+    def test_campaign_seed_is_independent_of_plugin_order(self):
+        # unlike Campaign's seed + index rule, a suite seed names the cell,
+        # so reordering plugins cannot silently change the scenario stream
+        suite = small_suite()
+        assert suite.campaign_seed("mysql", "spelling") == derive_seed(11, "mysql", "spelling")
+
+
+class TestConstruction:
+    def test_requires_systems_and_plugins(self):
+        with pytest.raises(CampaignError):
+            CampaignSuite({}, [SpellingMistakesPlugin()])
+        with pytest.raises(CampaignError):
+            CampaignSuite({"mysql": SimulatedMySQL}, [])
+
+    def test_rejects_duplicate_plugin_names(self):
+        with pytest.raises(CampaignError, match="unique"):
+            CampaignSuite(
+                {"mysql": SimulatedMySQL},
+                [SpellingMistakesPlugin(), SpellingMistakesPlugin()],
+            )
+
+    def test_rejects_duplicate_display_names(self):
+        # both keys instantiate SUTs named "MySQL": the rendered tables key
+        # columns by display name and would silently merge the two systems
+        suite = CampaignSuite(
+            {"a": SimulatedMySQL, "b": SimulatedMySQL},
+            [SpellingMistakesPlugin(mutations_per_token=1)],
+        )
+        with pytest.raises(CampaignError, match="display name"):
+            suite.run()
+
+    def test_manifest_describes_the_run(self):
+        suite = small_suite(layout="dvorak", jobs=3, executor="thread")
+        manifest = suite.manifest()
+        assert manifest["kind"] == "suite"
+        assert manifest["seed"] == 11
+        assert manifest["systems"] == {"mysql": "MySQL", "postgres": "Postgres"}
+        assert [p["name"] for p in manifest["plugins"]] == ["spelling", "semantic-constraints"]
+        assert manifest["layout"] == "dvorak"
+        assert manifest["executor"] == {"jobs": 3, "executor": "thread"}
+
+
+class TestRunWithoutStore:
+    def test_produces_complete_profiles(self):
+        result = small_suite().run()
+        assert set(result.profiles) == {"mysql", "postgres"}
+        for system in ("mysql", "postgres"):
+            assert set(result.profiles[system]) == {"spelling", "semantic-constraints"}
+            assert len(result.overall(system)) > 0
+        assert result.total_skipped() == 0
+        assert result.total_executed() == sum(
+            len(profile)
+            for per_plugin in result.profiles.values()
+            for profile in per_plugin.values()
+        )
+
+    def test_table1_lists_all_systems(self):
+        result = small_suite().run()
+        assert "MySQL" in result.table1() and "Postgres" in result.table1()
+
+    def test_resume_without_store_is_refused(self):
+        with pytest.raises(CampaignError, match="store"):
+            small_suite().run(resume=True)
+
+    def test_deterministic_across_invocations(self):
+        first = small_suite().run()
+        second = small_suite().run()
+        assert first.table1() == second.table1()
+
+
+class TestRunWithStore:
+    def test_records_land_on_disk_as_the_suite_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = small_suite().run(store=store)
+        assert store.exists()
+        for system in ("mysql", "postgres"):
+            on_disk = list(store.iter_records(system))
+            assert len(on_disk) == len(result.overall(system))
+
+    def test_existing_store_is_refused_without_resume(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        small_suite().run(store=store)
+        with pytest.raises(StoreError, match="already exists"):
+            small_suite().run(store=store)
+
+    def test_store_table_is_byte_identical_to_live_table(self, tmp_path):
+        from repro.core.report import store_typo_table
+
+        store = ResultStore(tmp_path / "store")
+        result = small_suite().run(store=store)
+        assert store_typo_table(store) == result.table1()
+
+
+class TestResume:
+    def test_completed_suite_resumes_with_zero_replays(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = small_suite().run(store=store)
+        second = small_suite().run(store=store, resume=True)
+        assert second.total_executed() == 0
+        assert second.total_skipped() == first.total_executed()
+        assert second.table1() == first.table1()
+
+    def test_interrupted_suite_resumes_the_remainder(self, tmp_path):
+        # simulate an interrupt: keep only a prefix of the first run's records
+        complete = ResultStore(tmp_path / "complete")
+        reference = small_suite().run(store=complete)
+
+        partial = ResultStore(tmp_path / "partial")
+        partial.write_manifest(small_suite().manifest())
+        kept = 0
+        for system in ("mysql", "postgres"):
+            for campaign, record in complete.iter_records(system):
+                if kept >= 3:
+                    break
+                partial.append(system, campaign, record)
+                kept += 1
+
+        resumed = small_suite().run(store=partial, resume=True)
+        assert resumed.total_skipped() == 3
+        assert resumed.total_executed() == reference.total_executed() - 3
+        assert resumed.table1() == reference.table1()
+        # the store now holds the complete run
+        total_on_disk = sum(
+            1 for system in ("mysql", "postgres") for _ in partial.iter_records(system)
+        )
+        assert total_on_disk == reference.total_executed()
+
+    def test_resume_with_different_seed_is_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        small_suite().run(store=store)
+        with pytest.raises(StoreError, match="seed"):
+            small_suite(seed=99).run(store=store, resume=True)
+
+    def test_resume_with_different_plugin_config_is_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        small_suite().run(store=store)
+        other = CampaignSuite(
+            {"mysql": SimulatedMySQL, "postgres": SimulatedPostgres},
+            [
+                SpellingMistakesPlugin(mutations_per_token=5),
+                ConstraintViolationPlugin(),
+            ],
+            seed=11,
+        )
+        with pytest.raises(StoreError, match="plugins"):
+            other.run(store=store, resume=True)
+
+    def test_resume_on_fresh_directory_runs_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        result = small_suite().run(store=store, resume=True)
+        assert result.total_skipped() == 0
+        assert result.total_executed() > 0
+
+    def test_executor_settings_do_not_block_resume(self, tmp_path):
+        # profiles are executor-invariant, so resuming with different worker
+        # settings must be allowed (that is the point of resuming elsewhere)
+        store = ResultStore(tmp_path / "store")
+        small_suite().run(store=store)
+        resumed = small_suite(jobs=3, executor="thread").run(store=store, resume=True)
+        assert resumed.total_executed() == 0

@@ -1,5 +1,6 @@
 """Unit tests for the DNS semantic-errors plugin and the constraint-violation plugin."""
 
+import pickle
 import random
 
 import pytest
@@ -8,7 +9,15 @@ from repro.core.infoset import ConfigSet
 from repro.core.views.dns_view import VIEW_TREE_NAME
 from repro.errors import PluginError
 from repro.parsers.base import get_dialect
-from repro.plugins.semantic_db import ConstraintSpec, ConstraintViolationPlugin
+from repro.plugins.semantic_db import (
+    MYSQL_CONSTRAINTS,
+    POSTGRES_CONSTRAINTS,
+    ConstraintSpec,
+    ConstraintViolationPlugin,
+    ScaledRelatedValue,
+    default_constraints,
+    parse_config_int,
+)
 from repro.plugins.semantic_dns import FAULT_CLASSES, DnsSemanticErrorsPlugin
 from repro.sut.dns.bind_server import DEFAULT_FORWARD_ZONE, DEFAULT_REVERSE_ZONE
 
@@ -150,3 +159,83 @@ class TestConstraintViolationPlugin:
         mutated = scenario.apply(view_set)
         directives = {n.name: n.value for n in mutated.get("postgresql.conf").walk() if n.kind == "directive"}
         assert int(directives["max_fsm_pages"]) < 16 * int(directives["max_fsm_relations"])
+
+
+class TestParseConfigInt:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100", 100),
+            (" 64 ", 64),
+            ("16M", 16 * 1024**2),
+            ("8K", 8 * 1024),
+            ("1g", 1024**3),
+            ("'153600'", 153600),
+            ("-5", -5),
+        ],
+    )
+    def test_parses_plain_and_suffixed_values(self, text, expected):
+        assert parse_config_int(text, 0) == expected
+
+    @pytest.mark.parametrize("text", [None, "", "abc", "M16"])
+    def test_unparsable_values_fall_back(self, text):
+        assert parse_config_int(text, 42) == 42
+
+
+class TestScaledRelatedValue:
+    def test_scales_the_related_value(self):
+        violation = ScaledRelatedValue(factor=16, offset=-16, fallback=1000)
+        assert violation("153600", "2000") == str(16 * 2000 - 16)
+
+    def test_falls_back_when_related_is_absent(self):
+        violation = ScaledRelatedValue(factor=16, offset=-16, fallback=1000)
+        assert violation("153600", None) == str(16 * 1000 - 16)
+
+    def test_clamped_at_zero(self):
+        assert ScaledRelatedValue(factor=1, offset=-10, fallback=0)("x", None) == "0"
+
+    def test_is_picklable(self):
+        violation = ScaledRelatedValue(factor=2, fallback=7)
+        clone = pickle.loads(pickle.dumps(violation))
+        assert clone == violation and clone(None, "3") == "6"
+
+
+class TestBundledCatalogs:
+    @pytest.fixture
+    def pg_set(self) -> ConfigSet:
+        text = "max_fsm_pages = 153600\nmax_fsm_relations = 1000\n"
+        return ConfigSet([get_dialect("pgconf").parse(text, "postgresql.conf")])
+
+    def test_default_constraints_select_by_system(self):
+        assert default_constraints("mysql") == MYSQL_CONSTRAINTS
+        assert default_constraints("Postgres") == POSTGRES_CONSTRAINTS
+        assert default_constraints("postgresql") == POSTGRES_CONSTRAINTS
+
+    def test_unknown_or_missing_system_gets_combined_catalog(self):
+        combined = MYSQL_CONSTRAINTS + POSTGRES_CONSTRAINTS
+        assert default_constraints("apache") == combined
+        assert default_constraints(None) == combined
+
+    def test_catalogs_are_picklable(self):
+        # required for campaigns under the process executor
+        for spec in default_constraints():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone.name == spec.name
+            assert clone.violating_value("100", "50") == spec.violating_value("100", "50")
+
+    def test_plugin_with_default_catalog_is_picklable(self):
+        plugin = ConstraintViolationPlugin()
+        clone = pickle.loads(pickle.dumps(plugin))
+        assert [s.name for s in clone.constraints] == [s.name for s in plugin.constraints]
+
+    def test_fsm_catalog_violates_the_paper_relation(self, pg_set, rng):
+        plugin = ConstraintViolationPlugin(POSTGRES_CONSTRAINTS)
+        view_set = plugin.view.transform(pg_set)
+        scenarios = plugin.generate(view_set, rng)
+        fsm = next(s for s in scenarios if s.metadata["constraint"] == "fsm-pages-vs-relations")
+        assert int(fsm.metadata["mutated"]) < 16 * 1000
+
+    def test_combined_catalog_yields_nothing_for_foreign_configs(self, zone_set, rng):
+        plugin = ConstraintViolationPlugin()  # zone files contain no db directives
+        view_set = plugin.view.transform(zone_set)
+        assert plugin.generate(view_set, rng) == []

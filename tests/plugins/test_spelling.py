@@ -57,9 +57,27 @@ class TestInsertionModel:
 
     def test_inserted_characters_are_keyboard_neighbours(self):
         typist = Typist()
+        candidates = set(typist.insertion_candidates("a"))
         for variant in InsertionModel(typist).mutations("a"):
-            inserted = variant[1]
-            assert inserted == "a" or inserted in typist.insertion_candidates("a")
+            inserted = variant[0] if variant[1] == "a" else variant[1]
+            assert inserted in candidates
+
+    def test_insertion_before_the_first_character(self):
+        # regression: slips used to be generated only *after* keystrokes,
+        # so "Xport"-style variants (spurious key before the word) were lost
+        variants = self.model.mutations("port")
+        assert any(variant.endswith("port") and len(variant) == 5 for variant in variants)
+
+    def test_prefix_insertions_use_first_key_neighbourhood(self):
+        typist = Typist()
+        candidates = set(typist.insertion_candidates("p"))
+        prefixed = [v for v in InsertionModel(typist).mutations("port") if v.endswith("port")]
+        assert prefixed and all(variant[0] in candidates for variant in prefixed)
+
+    def test_single_character_word_has_prefix_and_suffix_slips(self):
+        variants = set(self.model.mutations("a"))
+        assert any(v[1] == "a" for v in variants)  # prefix slip: "?a"
+        assert any(v[0] == "a" for v in variants)  # suffix slip: "a?"
 
     def test_empty_word(self):
         assert self.model.mutations("") == []

@@ -33,6 +33,51 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--system", "mysql", "--executor", "gpu"])
 
+    @pytest.mark.parametrize("value", ["0", "-1", "-10"])
+    def test_mutations_per_token_must_be_positive(self, value):
+        # regression: 0 used to crash rng.sample (or silently generate nothing)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--system", "mysql", "--mutations-per-token", value]
+            )
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_max_scenarios_per_class_must_be_positive(self, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--system", "mysql", "--max-scenarios-per-class", value]
+            )
+
+    def test_semantic_constraints_plugin_is_reachable(self):
+        args = build_parser().parse_args(
+            ["run", "--system", "postgres", "--plugin", "semantic-constraints"]
+        )
+        assert args.plugin == "semantic-constraints"
+
+    def test_layout_is_validated(self):
+        args = build_parser().parse_args(["run", "--system", "mysql", "--layout", "dvorak"])
+        assert args.layout == "dvorak"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "mysql", "--layout", "colemak"])
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.systems == ["mysql", "postgres", "apache", "bind", "djbdns"]
+        assert args.plugins == ["spelling", "structural", "semantic-constraints"]
+        assert args.store is None and args.resume is False
+
+    def test_suite_csv_lists_are_validated(self):
+        args = build_parser().parse_args(["suite", "--systems", "mysql,postgres"])
+        assert args.systems == ["mysql", "postgres"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--systems", "mysql,oracle"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--plugins", ""])
+
+    def test_store_and_from_store_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--store", "a", "--from-store", "b"])
+
 
 class TestCommands:
     def test_list_command(self, capsys):
@@ -97,3 +142,120 @@ class TestCommands:
         assert main(["table1", "--typos-per-directive", "2"]) == 0
         output = capsys.readouterr().out
         assert "# of Injected Errors" in output
+
+    def test_run_semantic_constraints_with_process_executor(self, capsys):
+        # regression: the catalog's violating values used to be lambdas,
+        # which cannot cross a process boundary
+        assert main(
+            ["run", "--system", "postgres", "--plugin", "semantic-constraints",
+             "--jobs", "2", "--executor", "process"]
+        ) == 0
+        assert "Resilience profile for Postgres" in capsys.readouterr().out
+
+
+class TestSuiteCommand:
+    def test_suite_runs_and_prints_overview(self, capsys):
+        assert main(
+            ["suite", "--systems", "postgres", "--plugins", "spelling,semantic-constraints"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Postgres" in output
+        assert "# of Injected Errors" in output
+        assert "scenarios executed" in output
+
+    def test_suite_store_then_resume_replays_nothing(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = [
+            "suite", "--systems", "mysql,postgres",
+            "--plugins", "spelling,semantic-constraints", "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main([*argv, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "skipped (already stored): 0" in first
+        assert "scenarios executed: 0" in second
+        # identical tables whether rendered live or after a full resume
+        assert first.splitlines()[-7:] == second.splitlines()[-7:]
+
+    def test_suite_refuses_existing_store_without_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        argv = ["suite", "--systems", "postgres", "--plugins", "spelling", "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_suite_resume_with_other_seed_fails(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = ["suite", "--systems", "postgres", "--plugins", "spelling", "--store", store]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main([*base, "--resume", "--seed", "1"]) == 1
+        assert "seed" in capsys.readouterr().err
+
+    def test_report_renders_a_store_directory(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["suite", "--systems", "postgres", "--plugins", "spelling", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", store]) == 0
+        output = capsys.readouterr().out
+        assert "result store" in output
+        assert "Resilience profile for Postgres" in output
+
+
+class TestStoreBackedTables:
+    def test_table1_from_store_matches_live_run(self, capsys, tmp_path):
+        store = str(tmp_path / "t1")
+        assert main(["table1", "--typos-per-directive", "2", "--store", store]) == 0
+        live = capsys.readouterr().out
+        assert main(["table1", "--from-store", store]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_table3_from_store_matches_live_run(self, capsys, tmp_path):
+        store = str(tmp_path / "t3")
+        assert main(["table3", "--store", store]) == 0
+        live = capsys.readouterr().out
+        assert main(["table3", "--from-store", store]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_figure3_from_store_matches_live_run(self, capsys, tmp_path):
+        store = str(tmp_path / "f3")
+        assert main(["figure3", "--experiments-per-directive", "4", "--store", store]) == 0
+        live = capsys.readouterr().out
+        assert main(["figure3", "--from-store", store]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_table2_from_store_matches_live_run(self, capsys, tmp_path):
+        store = str(tmp_path / "t2")
+        assert main(["table2", "--variants-per-class", "3", "--store", store]) == 0
+        live = capsys.readouterr().out
+        assert main(["table2", "--from-store", store]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_bench_store_refuses_existing_directory(self, capsys, tmp_path):
+        store = str(tmp_path / "t3")
+        assert main(["table3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["table3", "--store", store]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_from_store_rejects_a_store_of_the_wrong_kind(self, capsys, tmp_path):
+        # rendering Table 1 from a table3 store would produce plausible-
+        # looking but wrong numbers; the manifest kind prevents it
+        store = str(tmp_path / "t3")
+        assert main(["table3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["table1", "--from-store", store]) == 1
+        assert "table3" in capsys.readouterr().err
+
+    def test_table1_from_store_accepts_a_suite_store(self, capsys, tmp_path):
+        store = str(tmp_path / "suite")
+        assert main(
+            ["suite", "--systems", "postgres", "--plugins", "spelling", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(["table1", "--from-store", store]) == 0
+        assert "Postgres" in capsys.readouterr().out
