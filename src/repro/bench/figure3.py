@@ -27,16 +27,52 @@ from repro.core.report import (
     per_directive_detection_rates,
     render_distribution_chart,
 )
+from repro.core.spec import ExecutionSpec, ExperimentSpec, PluginSpec, SystemSpec
 from repro.core.store import ResultStore
 from repro.core.views.token_view import TOKEN_DIRECTIVE_VALUE
-from repro.bench.workloads import comparison_sut_factories
-from repro.plugins.spelling import SpellingMistakesPlugin
+from repro.bench.persist import write_bench_manifest
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Figure3Result", "run_figure3", "run_figure3_for", "figure3_from_store"]
+__all__ = [
+    "Figure3Result",
+    "run_figure3",
+    "run_figure3_for",
+    "figure3_from_store",
+    "figure3_spec",
+]
 
 #: Store campaign key for the one plugin the comparison runs per system.
 FIGURE3_CAMPAIGN = "value-typos"
+
+
+def figure3_spec(
+    seed: int = 2008,
+    experiments_per_directive: int = 20,
+    jobs: int = 1,
+    executor: str | None = None,
+) -> ExperimentSpec:
+    """The Figure 3 comparison as a declarative spec.
+
+    Both systems run the full-directive workload variants (most available
+    directives at their defaults, Section 5.5) with value typos only.
+    """
+    return ExperimentSpec(
+        systems=(
+            SystemSpec("mysql-full-directives", label="MySQL"),
+            SystemSpec("postgres-full-directives", label="Postgresql"),
+        ),
+        plugins=(
+            PluginSpec(
+                "spelling",
+                label=FIGURE3_CAMPAIGN,
+                params={
+                    "token_types": [TOKEN_DIRECTIVE_VALUE],
+                    "mutations_per_token": experiments_per_directive,
+                },
+            ),
+        ),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+    )
 
 
 @dataclass
@@ -67,10 +103,9 @@ def run_figure3_for(
     Returns the per-directive detection rates and the full profile.
     """
     sut, sut_factory = split_sut(sut)
-    plugin = SpellingMistakesPlugin(
-        token_types=(TOKEN_DIRECTIVE_VALUE,),
-        mutations_per_token=experiments_per_directive,
-    )
+    (plugin,) = figure3_spec(
+        seed=seed, experiments_per_directive=experiments_per_directive
+    ).build_plugins()
     observer = None
     if store is not None:
         key = system_key or sut.name
@@ -98,21 +133,27 @@ def run_figure3(
 ) -> Figure3Result:
     """Run the Figure 3 comparison for MySQL and Postgres.
 
-    With a ``store`` the per-system records are persisted under the
-    :data:`FIGURE3_CAMPAIGN` key; :func:`figure3_from_store` re-renders the
-    distributions from those records.
+    The run is wired from :func:`figure3_spec`.  With a ``store`` the
+    per-system records are persisted under the :data:`FIGURE3_CAMPAIGN` key
+    (the manifest embeds the serialized spec); :func:`figure3_from_store`
+    re-renders the distributions from those records.
     """
-    suts = systems if systems is not None else comparison_sut_factories()
+    spec = figure3_spec(
+        seed=seed,
+        experiments_per_directive=experiments_per_directive,
+        jobs=jobs,
+        executor=executor,
+    )
+    suts = systems if systems is not None else spec.build_systems()
     if store is not None:
-        store.ensure_fresh().write_manifest(
-            {
-                "kind": "figure3",
-                "seed": seed,
-                "systems": {name: name for name in suts},
-                "plugins": [{"name": FIGURE3_CAMPAIGN, "params": {}}],
-                "layout": None,
-                "params": {"experiments_per_directive": experiments_per_directive},
-            }
+        write_bench_manifest(
+            store,
+            kind="figure3",
+            seed=seed,
+            suts=suts,
+            plugins=[{"name": FIGURE3_CAMPAIGN, "params": {}}],
+            params={"experiments_per_directive": experiments_per_directive},
+            spec=spec if systems is None else None,
         )
     per_directive_rates: dict[str, dict[str, float]] = {}
     distributions: dict[str, dict[str, float]] = {}

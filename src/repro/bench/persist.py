@@ -1,0 +1,39 @@
+"""Shared result-store persistence for the four bench drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.spec import ExperimentSpec
+from repro.core.store import ResultStore
+
+
+def write_bench_manifest(
+    store: ResultStore,
+    *,
+    kind: str,
+    seed: int,
+    suts: Mapping[str, Any],
+    plugins: Sequence[Mapping[str, Any]],
+    params: Mapping[str, Any],
+    spec: ExperimentSpec | None,
+) -> None:
+    """Initialise a fresh bench store with the run's manifest.
+
+    One shape for all drivers: ``kind`` names the experiment (guarding the
+    ``--from-store`` readers), ``params`` carries the driver-specific knobs,
+    and ``spec`` -- when the driver ran its default systems -- embeds the
+    serialized :class:`ExperimentSpec` for provenance and spec-diff resume
+    checks.
+    """
+    manifest: dict[str, Any] = {
+        "kind": kind,
+        "seed": seed,
+        "systems": {name: name for name in suts},
+        "plugins": [dict(plugin) for plugin in plugins],
+        "layout": None,
+        "params": dict(params),
+    }
+    if spec is not None:
+        manifest["spec"] = spec.to_dict()
+    store.ensure_fresh().write_manifest(manifest)

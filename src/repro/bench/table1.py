@@ -15,24 +15,69 @@ Table 1 layout.
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import typo_resilience_table
+from repro.core.spec import ExecutionSpec, ExperimentSpec, PluginSpec, SystemSpec
 from repro.core.store import ResultStore
 from repro.core.views.token_view import TOKEN_DIRECTIVE_NAME, TOKEN_DIRECTIVE_VALUE, TokenView
-from repro.bench.workloads import typo_benchmark_sut_factories
+from repro.bench.persist import write_bench_manifest
 from repro.plugins.spelling import SpellingMistakesPlugin
-from repro.plugins.structural import StructuralErrorsPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Table1Result", "run_table1", "run_table1_for", "table1_from_store"]
+__all__ = ["Table1Result", "run_table1", "run_table1_for", "table1_from_store", "table1_spec"]
 
 #: Store campaign keys for the three Table 1 error classes, in run order.
 TABLE1_CAMPAIGNS = ("omit-directive", "name-typos", "value-typos")
+
+
+def table1_spec(
+    seed: int = 2008,
+    typos_per_directive: int = 10,
+    jobs: int = 1,
+    executor: str | None = None,
+) -> ExperimentSpec:
+    """The Table 1 experiment as a declarative spec.
+
+    MySQL uses the server-group-only workload variant so that every injected
+    typo targets a directive the server actually parses at startup; the paper
+    counts 14 directives for MySQL, 8 for Postgres and 98 for Apache.  The
+    two ``spelling`` entries carry distinct labels -- they are separate
+    campaigns over different token types.  (The per-section directive
+    selection is a token filter applied on top of the spec-built plugins.)
+    """
+    return ExperimentSpec(
+        systems=(
+            SystemSpec("mysql-server-only", label="MySQL"),
+            SystemSpec("postgres", label="Postgres"),
+            SystemSpec("apache", label="Apache"),
+        ),
+        plugins=(
+            PluginSpec("structural", label="omit-directive", params={"include": ["omit-directive"]}),
+            PluginSpec(
+                "spelling",
+                label="name-typos",
+                params={
+                    "token_types": [TOKEN_DIRECTIVE_NAME],
+                    "mutations_per_token": typos_per_directive,
+                },
+            ),
+            PluginSpec(
+                "spelling",
+                label="value-typos",
+                params={
+                    "token_types": [TOKEN_DIRECTIVE_VALUE],
+                    "mutations_per_token": typos_per_directive,
+                },
+            ),
+        ),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+    )
 
 
 @dataclass
@@ -94,38 +139,39 @@ def run_table1_for(
     executor: str | None = None,
     store: ResultStore | None = None,
     system_key: str | None = None,
+    plugins: Sequence | None = None,
 ) -> ResilienceProfile:
     """Run the three Table 1 error classes against one SUT and merge the profiles.
 
     ``sut`` may be an instance or a factory; ``jobs``/``executor`` fan the
     scenarios of each error class out across workers (note that the token
     filters are closures, so the thread strategy is the parallel option here).
-    When ``store`` is given, every record is appended under the system's key
-    and the error class's :data:`TABLE1_CAMPAIGNS` campaign name.
+    ``plugins`` defaults to :func:`table1_spec`'s spec-built instances; the
+    paper's per-section directive selection is applied to every spelling
+    plugin as a token filter.  When ``store`` is given, every record is
+    appended under the system's key and the plugin's campaign label.
     """
     sut, sut_factory = split_sut(sut)
     selected = _selected_directive_paths(sut, directives_per_section, seed)
     token_filter = _token_filter_for(selected)
 
-    plugins = [
-        StructuralErrorsPlugin(include=["omit-directive"]),
-        SpellingMistakesPlugin(
-            token_types=(TOKEN_DIRECTIVE_NAME,),
-            mutations_per_token=typos_per_directive,
-            token_filter=token_filter,
-        ),
-        SpellingMistakesPlugin(
-            token_types=(TOKEN_DIRECTIVE_VALUE,),
-            mutations_per_token=typos_per_directive,
-            token_filter=token_filter,
-        ),
-    ]
+    if plugins is None:
+        plugins = table1_spec(
+            seed=seed, typos_per_directive=typos_per_directive, jobs=jobs, executor=executor
+        ).build_plugins()
+    # the token filter is SUT-specific, so never mutate caller-owned instances
+    prepared = []
+    for plugin in plugins:
+        if isinstance(plugin, SpellingMistakesPlugin):
+            plugin = copy.copy(plugin)
+            plugin.token_filter = token_filter
+        prepared.append(plugin)
     merged = ResilienceProfile(sut.name)
-    for offset, (campaign_name, plugin) in enumerate(zip(TABLE1_CAMPAIGNS, plugins)):
+    for offset, plugin in enumerate(prepared):
         observer = None
         if store is not None:
             key = system_key or sut.name
-            observer = lambda record, key=key, name=campaign_name: store.append(key, name, record)
+            observer = lambda record, key=key, name=plugin.name: store.append(key, name, record)
         engine = InjectionEngine(
             sut,
             plugin,
@@ -150,24 +196,28 @@ def run_table1(
 ) -> Table1Result:
     """Run the Table 1 experiment for MySQL, Postgres and Apache.
 
-    With a ``store`` the records are persisted as they land, so
-    :func:`table1_from_store` can re-render the table later without
-    re-running any injections.
+    The run is wired from :func:`table1_spec`: systems come from the
+    registry, plugins from their ``from_params``.  With a ``store`` the
+    records are persisted as they land (the manifest embeds the serialized
+    spec), so :func:`table1_from_store` can re-render the table later
+    without re-running any injections.
     """
-    suts = systems if systems is not None else typo_benchmark_sut_factories()
+    spec = table1_spec(
+        seed=seed, typos_per_directive=typos_per_directive, jobs=jobs, executor=executor
+    )
+    suts = systems if systems is not None else spec.build_systems()
     if store is not None:
-        store.ensure_fresh().write_manifest(
-            {
-                "kind": "table1",
-                "seed": seed,
-                "systems": {name: name for name in suts},
-                "plugins": [{"name": name, "params": {}} for name in TABLE1_CAMPAIGNS],
-                "layout": None,
-                "params": {
-                    "directives_per_section": directives_per_section,
-                    "typos_per_directive": typos_per_directive,
-                },
-            }
+        write_bench_manifest(
+            store,
+            kind="table1",
+            seed=seed,
+            suts=suts,
+            plugins=[{"name": name, "params": {}} for name in TABLE1_CAMPAIGNS],
+            params={
+                "directives_per_section": directives_per_section,
+                "typos_per_directive": typos_per_directive,
+            },
+            spec=spec if systems is None else None,
         )
     profiles = {
         name: run_table1_for(
@@ -179,6 +229,7 @@ def run_table1(
             executor=executor,
             store=store,
             system_key=name,
+            plugins=spec.build_plugins(),
         )
         for name, sut in suts.items()
     }

@@ -16,15 +16,16 @@ from typing import Callable
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import classify_structural_support, structural_support_table
+from repro.core.spec import ExecutionSpec, ExperimentSpec, PluginSpec, SystemSpec
 from repro.core.store import ResultStore
-from repro.bench.workloads import structural_benchmark_sut_factories
-from repro.plugins.structural import StructuralVariationsPlugin
+from repro.bench.persist import write_bench_manifest
 from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = [
     "Table2Result",
     "run_table2",
     "table2_from_store",
+    "table2_spec",
     "VARIATION_LABELS",
     "APPLICABLE_CLASSES",
 ]
@@ -68,6 +69,41 @@ class Table2Result:
 _classify = classify_structural_support
 
 
+def table2_spec(
+    seed: int = 2008,
+    variants_per_class: int = 10,
+    min_truncation: int = 8,
+    jobs: int = 1,
+    executor: str | None = None,
+) -> ExperimentSpec:
+    """The Table 2 experiment as a declarative spec.
+
+    One ``structural-variations`` entry per variation class, labelled with
+    the paper's row name -- each class is its own campaign, so the support
+    matrix can be rebuilt cell-exactly from a store.
+    """
+    return ExperimentSpec(
+        systems=(
+            SystemSpec("mysql", label="MySQL"),
+            SystemSpec("postgres", label="Postgres"),
+            SystemSpec("apache", label="Apache"),
+        ),
+        plugins=tuple(
+            PluginSpec(
+                "structural-variations",
+                label=label,
+                params={
+                    "classes": [variation_class],
+                    "variants_per_class": variants_per_class,
+                    "min_truncation": min_truncation,
+                },
+            )
+            for variation_class, label in VARIATION_LABELS.items()
+        ),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+    )
+
+
 def run_table2(
     seed: int = 2008,
     variants_per_class: int = 10,
@@ -79,26 +115,33 @@ def run_table2(
 ) -> Table2Result:
     """Run the Table 2 experiment for MySQL, Postgres and Apache.
 
-    With a ``store`` every variant's record is persisted under the variation
-    label as campaign key; :func:`table2_from_store` re-renders the support
-    matrix from those records.
+    The run is wired from :func:`table2_spec`.  With a ``store`` every
+    variant's record is persisted under the variation label as campaign key
+    (the manifest embeds the serialized spec); :func:`table2_from_store`
+    re-renders the support matrix from those records.
     """
-    suts = systems if systems is not None else structural_benchmark_sut_factories()
+    spec = table2_spec(
+        seed=seed,
+        variants_per_class=variants_per_class,
+        min_truncation=min_truncation,
+        jobs=jobs,
+        executor=executor,
+    )
+    suts = systems if systems is not None else spec.build_systems()
     if store is not None:
-        store.ensure_fresh().write_manifest(
-            {
-                "kind": "table2",
-                "seed": seed,
-                "systems": {name: name for name in suts},
-                "plugins": [
-                    {"name": "structural-variations", "params": {"classes": list(VARIATION_LABELS)}}
-                ],
-                "layout": None,
-                "params": {
-                    "variants_per_class": variants_per_class,
-                    "min_truncation": min_truncation,
-                },
-            }
+        write_bench_manifest(
+            store,
+            kind="table2",
+            seed=seed,
+            suts=suts,
+            plugins=[
+                {"name": "structural-variations", "params": {"classes": list(VARIATION_LABELS)}}
+            ],
+            params={
+                "variants_per_class": variants_per_class,
+                "min_truncation": min_truncation,
+            },
+            spec=spec if systems is None else None,
         )
     support: dict[str, dict[str, str]] = {}
     profiles: dict[str, dict[str, ResilienceProfile]] = {}
@@ -107,15 +150,12 @@ def run_table2(
         applicable = APPLICABLE_CLASSES.get(name, tuple(VARIATION_LABELS))
         support[name] = {}
         profiles[name] = {}
-        for variation_class, label in VARIATION_LABELS.items():
+        for plugin in spec.build_plugins():
+            variation_class = plugin.classes[0]
+            label = plugin.name
             if variation_class not in applicable:
                 support[name][label] = "n/a"
                 continue
-            plugin = StructuralVariationsPlugin(
-                classes=[variation_class],
-                variants_per_class=variants_per_class,
-                min_truncation=min_truncation,
-            )
             observer = None
             if store is not None:
                 observer = lambda record, key=name, label=label: store.append(key, label, record)

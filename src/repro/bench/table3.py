@@ -13,17 +13,17 @@ system-independent record view and classifies each fault class:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.engine import InjectionEngine
 from repro.core.profile import ResilienceProfile
 from repro.core.report import classify_semantic_behaviour, semantic_behaviour_table
+from repro.core.spec import ExecutionSpec, ExperimentSpec, PluginSpec, SystemSpec
 from repro.core.store import ResultStore
-from repro.bench.workloads import dns_benchmark_sut_factories
-from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
+from repro.bench.persist import write_bench_manifest
 from repro.sut.base import SystemUnderTest, split_sut
 
-__all__ = ["Table3Result", "run_table3", "table3_from_store", "FAULT_LABELS"]
+__all__ = ["Table3Result", "run_table3", "table3_from_store", "table3_spec", "FAULT_LABELS"]
 
 #: Store campaign key for the one plugin Table 3 runs per system.
 TABLE3_CAMPAIGN = "semantic-dns"
@@ -68,6 +68,29 @@ def _behaviour_matrix(
     return behaviour
 
 
+def table3_spec(
+    seed: int = 2008,
+    max_scenarios_per_class: int = 3,
+    fault_classes: Sequence[str] | None = None,
+    jobs: int = 1,
+    executor: str | None = None,
+) -> ExperimentSpec:
+    """The Table 3 experiment as a declarative spec (the DNS semantic sweep)."""
+    return ExperimentSpec(
+        systems=(SystemSpec("bind", label="BIND"), SystemSpec("djbdns")),
+        plugins=(
+            PluginSpec(
+                TABLE3_CAMPAIGN,
+                params={
+                    "classes": list(fault_classes if fault_classes is not None else FAULT_LABELS),
+                    "max_scenarios_per_class": max_scenarios_per_class,
+                },
+            ),
+        ),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+    )
+
+
 def run_table3(
     seed: int = 2008,
     max_scenarios_per_class: int = 3,
@@ -79,29 +102,34 @@ def run_table3(
 ) -> Table3Result:
     """Run the Table 3 experiment for BIND and djbdns.
 
-    With a ``store`` the per-system records are persisted under the
-    :data:`TABLE3_CAMPAIGN` key; :func:`table3_from_store` re-renders the
-    behaviour matrix from those records.
+    The run is wired from :func:`table3_spec`.  With a ``store`` the
+    per-system records are persisted under the :data:`TABLE3_CAMPAIGN` key
+    (the manifest embeds the serialized spec); :func:`table3_from_store`
+    re-renders the behaviour matrix from those records.
     """
-    suts = systems if systems is not None else dns_benchmark_sut_factories()
     labels = fault_classes if fault_classes is not None else FAULT_LABELS
+    spec = table3_spec(
+        seed=seed,
+        max_scenarios_per_class=max_scenarios_per_class,
+        fault_classes=list(labels),
+        jobs=jobs,
+        executor=executor,
+    )
+    suts = systems if systems is not None else spec.build_systems()
     if store is not None:
-        store.ensure_fresh().write_manifest(
-            {
-                "kind": "table3",
-                "seed": seed,
-                "systems": {name: name for name in suts},
-                "plugins": [{"name": TABLE3_CAMPAIGN, "params": {"classes": list(labels)}}],
-                "layout": None,
-                "params": {"max_scenarios_per_class": max_scenarios_per_class},
-            }
+        write_bench_manifest(
+            store,
+            kind="table3",
+            seed=seed,
+            suts=suts,
+            plugins=[{"name": TABLE3_CAMPAIGN, "params": {"classes": list(labels)}}],
+            params={"max_scenarios_per_class": max_scenarios_per_class},
+            spec=spec if systems is None else None,
         )
     profiles: dict[str, ResilienceProfile] = {}
     for name, sut in suts.items():
         sut, sut_factory = split_sut(sut)
-        plugin = DnsSemanticErrorsPlugin(
-            classes=list(labels), max_scenarios_per_class=max_scenarios_per_class
-        )
+        (plugin,) = spec.build_plugins()
         observer = None
         if store is not None:
             observer = lambda record, key=name: store.append(key, TABLE3_CAMPAIGN, record)

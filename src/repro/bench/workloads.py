@@ -12,15 +12,11 @@ needs, since every worker builds its own private SUT.
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Callable
 
-from repro.sut.apache import SimulatedApache
+from repro.registry import get_system
 from repro.sut.base import SystemUnderTest
-from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
-from repro.sut.mysql import SimulatedMySQL
-from repro.sut.mysql.options import DEFAULT_MY_CNF_SERVER_ONLY, MYSQLD_OPTIONS
-from repro.sut.postgres import SimulatedPostgres
+from repro.sut.mysql.options import MYSQLD_OPTIONS
 from repro.sut.postgres.options import POSTGRES_OPTIONS
 
 __all__ = [
@@ -49,9 +45,9 @@ def typo_benchmark_sut_factories() -> dict[str, SUTFactory]:
     MySQL, 8 for Postgres and 98 for Apache.
     """
     return {
-        "MySQL": partial(SimulatedMySQL, default_config=DEFAULT_MY_CNF_SERVER_ONLY),
-        "Postgres": SimulatedPostgres,
-        "Apache": SimulatedApache,
+        "MySQL": get_system("mysql-server-only"),
+        "Postgres": get_system("postgres"),
+        "Apache": get_system("apache"),
     }
 
 
@@ -63,9 +59,9 @@ def typo_benchmark_suts() -> dict[str, object]:
 def structural_benchmark_sut_factories() -> dict[str, SUTFactory]:
     """Factories for the Table 2 SUTs (full default configurations)."""
     return {
-        "MySQL": SimulatedMySQL,
-        "Postgres": SimulatedPostgres,
-        "Apache": SimulatedApache,
+        "MySQL": get_system("mysql"),
+        "Postgres": get_system("postgres"),
+        "Apache": get_system("apache"),
     }
 
 
@@ -76,7 +72,7 @@ def structural_benchmark_suts() -> dict[str, object]:
 
 def dns_benchmark_sut_factories() -> dict[str, SUTFactory]:
     """Factories for the two SUTs of the Table 3 experiment."""
-    return {"BIND": SimulatedBIND, "djbdns": SimulatedDjbdns}
+    return {"BIND": get_system("bind"), "djbdns": get_system("djbdns")}
 
 
 def dns_benchmark_suts() -> dict[str, object]:
@@ -86,13 +82,7 @@ def dns_benchmark_suts() -> dict[str, object]:
 
 def simulated_sut_factories() -> dict[str, SUTFactory]:
     """Factories for all five simulated systems the paper studies."""
-    return {
-        "mysql": SimulatedMySQL,
-        "postgres": SimulatedPostgres,
-        "apache": SimulatedApache,
-        "bind": SimulatedBIND,
-        "djbdns": SimulatedDjbdns,
-    }
+    return {name: get_system(name) for name in ("mysql", "postgres", "apache", "bind", "djbdns")}
 
 
 def full_directive_mysql_config() -> str:
@@ -129,8 +119,8 @@ def full_directive_postgres_config() -> str:
 def comparison_sut_factories() -> dict[str, SUTFactory]:
     """Factories for the Figure 3 comparison SUTs (full-directive files)."""
     return {
-        "MySQL": partial(SimulatedMySQL, default_config=full_directive_mysql_config()),
-        "Postgresql": partial(SimulatedPostgres, default_config=full_directive_postgres_config()),
+        "MySQL": get_system("mysql-full-directives"),
+        "Postgresql": get_system("postgres-full-directives"),
     }
 
 

@@ -1,5 +1,12 @@
 """Command-line interface: ``conferr``.
 
+The CLI is a thin translation layer: every campaign-running sub-command
+turns its flags into a declarative
+:class:`~repro.core.spec.ExperimentSpec` and hands it to the same spec
+runner that ``run-spec`` uses for spec files.  No factory tables live
+here -- systems come from :mod:`repro.registry` and plugins from
+:mod:`repro.plugins.base`.
+
 Sub-commands
 ------------
 ``conferr run --system mysql --plugin spelling``
@@ -7,13 +14,21 @@ Sub-commands
 ``conferr suite --store results/``
     Run a whole multi-system, multi-plugin campaign suite, persisting every
     record; ``--resume`` continues an interrupted suite from the store.
+``conferr run-spec experiment.toml``
+    Run the experiment a TOML/JSON spec file describes.
+``conferr validate experiment.toml``
+    Check a spec file against the registries without running anything.
 ``conferr table1`` / ``table2`` / ``table3`` / ``figure3``
     Regenerate the paper's evaluation artefacts (``--store`` persists the
     records; ``--from-store`` re-renders from disk without re-running).
 ``conferr report``
     Re-render a saved profile JSON file or a result-store directory.
 ``conferr list``
-    Show the available systems, plugins and configuration dialects.
+    Show the available systems, plugins, dialects and keyboard layouts.
+
+``run`` and ``suite`` also accept ``--dump-spec``: print the equivalent
+spec file (TOML) instead of running, so any flag invocation can be turned
+into a reusable, version-controllable experiment description.
 """
 
 from __future__ import annotations
@@ -24,51 +39,27 @@ import os
 import sys
 from typing import Callable, Sequence
 
-from repro.core.campaign import Campaign
-from repro.core.store import ResultStore
-from repro.core.suite import CampaignSuite
-from repro.errors import CampaignError, StoreError
-from repro.parsers.base import available_dialects
-from repro.plugins import (
-    ConstraintViolationPlugin,
-    DnsSemanticErrorsPlugin,
-    SpellingMistakesPlugin,
-    StructuralErrorsPlugin,
-    StructuralVariationsPlugin,
-    default_constraints,
+from repro.core.spec import (
+    EXECUTOR_CHOICES,
+    ExecutionSpec,
+    ExperimentSpec,
+    PluginSpec,
+    StoreSpec,
+    SystemSpec,
 )
+from repro.core.store import ResultStore
+from repro.core.suite import CampaignSuite, SuiteResult
+from repro.errors import CampaignError, SpecError, StoreError
+from repro.parsers.base import available_dialects
 from repro.plugins.base import available_plugins
-from repro.sut.apache import SimulatedApache
-from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
-from repro.sut.mysql import SimulatedMySQL
-from repro.sut.postgres import SimulatedPostgres
+from repro.registry import available_systems
 
 __all__ = ["main", "build_parser"]
 
-_SYSTEMS: dict[str, Callable[[], object]] = {
-    "mysql": SimulatedMySQL,
-    "postgres": SimulatedPostgres,
-    "apache": SimulatedApache,
-    "bind": SimulatedBIND,
-    "djbdns": SimulatedDjbdns,
-}
-
-_PLUGIN_FACTORIES: dict[str, Callable[[argparse.Namespace], object]] = {
-    "spelling": lambda args: SpellingMistakesPlugin(
-        mutations_per_token=args.mutations_per_token,
-        layout_name=getattr(args, "layout", None),
-    ),
-    "structural": lambda args: StructuralErrorsPlugin(
-        max_scenarios_per_class=args.max_scenarios_per_class
-    ),
-    "structural-variations": lambda args: StructuralVariationsPlugin(),
-    "semantic-dns": lambda args: DnsSemanticErrorsPlugin(
-        max_scenarios_per_class=args.max_scenarios_per_class
-    ),
-    "semantic-constraints": lambda args: ConstraintViolationPlugin(
-        default_constraints(getattr(args, "system", None))
-    ),
-}
+#: Default system line-up of ``conferr suite``: the five systems the paper
+#: studies, in the canonical table-column order (the registry also names
+#: benchmark workload variants, which are opt-in).
+_DEFAULT_SUITE_SYSTEMS = ("mysql", "postgres", "apache", "bind", "djbdns")
 
 #: Default plugin line-up of ``conferr suite``: the three error classes that
 #: apply to every system (DNS semantic errors only fit the DNS servers).
@@ -94,7 +85,11 @@ def _layout_name(text: str) -> str:
 
 
 def _csv_of(allowed: Sequence[str], what: str) -> Callable[[str], list[str]]:
-    """argparse type: comma-separated subset of ``allowed``, order-preserving."""
+    """argparse type: comma-separated subset of ``allowed``.
+
+    Order-preserving and deduplicating: ``--systems mysql,mysql`` means the
+    one system, not a double-counted table cell.
+    """
 
     def parse(text: str) -> list[str]:
         names = [name.strip() for name in text.split(",") if name.strip()]
@@ -124,7 +119,7 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
+        choices=EXECUTOR_CHOICES,
         default=None,
         help="worker strategy; default: serial for --jobs 1, threads otherwise",
     )
@@ -139,8 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one injection campaign")
-    run.add_argument("--system", choices=sorted(_SYSTEMS), required=True)
-    run.add_argument("--plugin", choices=sorted(_PLUGIN_FACTORIES), default="spelling")
+    run.add_argument("--system", choices=sorted(available_systems()), required=True)
+    run.add_argument("--plugin", choices=available_plugins(), default="spelling")
     run.add_argument("--seed", type=int, default=2008)
     run.add_argument("--mutations-per-token", type=_positive_int, default=1)
     run.add_argument("--max-scenarios-per-class", type=_positive_int, default=None)
@@ -153,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true", help="emit the full profile as JSON")
     run.add_argument("--output", metavar="FILE", default=None, help="also save the profile as JSON to FILE")
+    run.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the equivalent experiment spec (TOML) instead of running",
+    )
     _add_executor_arguments(run)
 
     suite = sub.add_parser(
@@ -160,14 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument(
         "--systems",
-        type=_csv_of(tuple(_SYSTEMS), "system"),
-        default=list(_SYSTEMS),
+        type=_csv_of(tuple(available_systems()), "system"),
+        default=list(_DEFAULT_SUITE_SYSTEMS),
         metavar="A,B,...",
-        help=f"comma-separated systems (default: all of {','.join(_SYSTEMS)})",
+        help=f"comma-separated systems (default: {','.join(_DEFAULT_SUITE_SYSTEMS)})",
     )
     suite.add_argument(
         "--plugins",
-        type=_csv_of(tuple(_PLUGIN_FACTORIES), "plugin"),
+        type=_csv_of(tuple(available_plugins()), "plugin"),
         default=list(_DEFAULT_SUITE_PLUGINS),
         metavar="A,B,...",
         help=f"comma-separated plugins (default: {','.join(_DEFAULT_SUITE_PLUGINS)})",
@@ -193,7 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip scenarios whose records are already in --store and continue",
     )
+    suite.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the equivalent experiment spec (TOML) instead of running",
+    )
     _add_executor_arguments(suite)
+
+    run_spec = sub.add_parser(
+        "run-spec", help="run the experiment described by a TOML/JSON spec file"
+    )
+    run_spec.add_argument("spec_file", help="experiment spec file (.toml or .json)")
+
+    validate = sub.add_parser(
+        "validate", help="validate a spec file against the registries without running it"
+    )
+    validate.add_argument("spec_file", help="experiment spec file (.toml or .json)")
 
     report = sub.add_parser(
         "report", help="re-render a saved profile JSON file or a result-store directory"
@@ -232,21 +247,70 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "table2":
             bench.add_argument("--variants-per-class", type=int, default=10)
 
-    sub.add_parser("list", help="list available systems, plugins and dialects")
+    sub.add_parser("list", help="list available systems, plugins, dialects and layouts")
     return parser
 
 
-
-
-def _command_run(args: argparse.Namespace) -> int:
-    # the SUT class itself is the factory, so workers can build private instances
-    sut_factory = _SYSTEMS[args.system]
-    plugin = _PLUGIN_FACTORIES[args.plugin](args)
-    campaign = Campaign(
-        sut_factory, [plugin], seed=args.seed, jobs=args.jobs, executor=args.executor
+# --------------------------------------------------------- flags -> ExperimentSpec
+def _execution_from_args(args: argparse.Namespace) -> ExecutionSpec:
+    return ExecutionSpec(
+        seed=args.seed,
+        jobs=args.jobs,
+        executor=args.executor,
+        mutations_per_token=args.mutations_per_token,
+        max_scenarios_per_class=args.max_scenarios_per_class,
+        layout=args.layout,
     )
-    result = campaign.run()
-    profile = result.overall
+
+
+def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
+    params: dict = {}
+    if args.plugin == "semantic-constraints":
+        # one-system campaigns use the system's own constraint catalog
+        params["system"] = args.system
+    return ExperimentSpec(
+        systems=(SystemSpec(args.system),),
+        plugins=(PluginSpec(args.plugin, params=params),),
+        execution=_execution_from_args(args),
+    )
+
+
+def _spec_from_suite_args(args: argparse.Namespace) -> ExperimentSpec:
+    store = None
+    if args.store:
+        store = StoreSpec(root=args.store, resume=args.resume)
+    return ExperimentSpec(
+        systems=tuple(SystemSpec(name) for name in args.systems),
+        plugins=tuple(PluginSpec(name) for name in args.plugins),
+        execution=_execution_from_args(args),
+        store=store,
+    )
+
+
+def _run_spec(spec: ExperimentSpec, resume: bool) -> tuple[SuiteResult, ResultStore | None]:
+    """Run an experiment spec; the one execution path for run/suite/run-spec."""
+    suite = CampaignSuite.from_spec(spec)
+    store = spec.build_store()
+    return suite.run(store=store, resume=resume), store
+
+
+def _print_suite_result(result: SuiteResult, store: ResultStore | None) -> None:
+    print(result.summary())
+    print()
+    print(result.table1())
+    if store is not None:
+        print()
+        print(f"records stored in {store.root}")
+
+
+# ------------------------------------------------------------------------ commands
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_run_args(args)
+    if args.dump_spec:
+        print(spec.validate().to_toml(), end="")
+        return 0
+    result, _store = _run_spec(spec, resume=False)
+    profile = result.overall(spec.systems[0].key)
     if args.output:
         profile.save(args.output)
     if args.json:
@@ -261,23 +325,39 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_suite(args: argparse.Namespace) -> int:
-    plugins = [_PLUGIN_FACTORIES[name](args) for name in args.plugins]
-    suite = CampaignSuite(
-        {key: _SYSTEMS[key] for key in args.systems},
-        plugins,
-        seed=args.seed,
-        layout=args.layout,
-        jobs=args.jobs,
-        executor=args.executor,
+    spec = _spec_from_suite_args(args)
+    if args.dump_spec:
+        print(spec.validate().to_toml(), end="")
+        return 0
+    result, store = _run_spec(spec, resume=args.resume)
+    _print_suite_result(result, store)
+    return 0
+
+
+def _command_run_spec(args: argparse.Namespace) -> int:
+    # no explicit validate(): CampaignSuite.from_spec validates before building
+    spec = ExperimentSpec.from_file(args.spec_file)
+    try:
+        result, store = _run_spec(spec, resume=spec.store.resume if spec.store else False)
+    except SpecError as exc:
+        raise SpecError(f"{args.spec_file}: {exc}") from None
+    _print_suite_result(result, store)
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec_file)
+    try:
+        spec.validate()
+    except SpecError as exc:
+        # name the file: a script validating several specs must be able to
+        # tell which one is broken
+        raise SpecError(f"{args.spec_file}: {exc}") from None
+    print(
+        f"{args.spec_file}: OK "
+        f"({len(spec.systems)} system(s) x {len(spec.plugins)} plugin(s), "
+        f"seed {spec.execution.seed})"
     )
-    store = ResultStore(args.store) if args.store else None
-    result = suite.run(store=store, resume=args.resume)
-    print(result.summary())
-    print()
-    print(result.table1())
-    if store is not None:
-        print()
-        print(f"records stored in {store.root}")
     return 0
 
 
@@ -305,9 +385,12 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_list(_args: argparse.Namespace) -> int:
-    print("systems:  " + ", ".join(sorted(_SYSTEMS)))
+    from repro.keyboard.layouts import available_layouts
+
+    print("systems:  " + ", ".join(available_systems()))
     print("plugins:  " + ", ".join(available_plugins()))
     print("dialects: " + ", ".join(available_dialects()))
+    print("layouts:  " + ", ".join(available_layouts()))
     return 0
 
 
@@ -387,6 +470,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _command_run,
         "suite": _command_suite,
+        "run-spec": _command_run_spec,
+        "validate": _command_validate,
         "list": _command_list,
         "report": _command_report,
         "table1": _command_table1,
@@ -396,9 +481,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except (CampaignError, StoreError) as exc:
-        # e.g. --executor process with a campaign that cannot be pickled, or
-        # a resume pointed at an incompatible/existing store
+    except (CampaignError, SpecError, StoreError) as exc:
+        # e.g. --executor process with a campaign that cannot be pickled, a
+        # resume pointed at an incompatible/existing store, or an invalid spec
         print(f"conferr: error: {exc}", file=sys.stderr)
         return 1
 

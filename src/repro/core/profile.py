@@ -231,8 +231,17 @@ class ResilienceProfile:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
-        """Write the profile to ``path`` as JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write the profile to ``path`` as JSON, creating parent directories.
+
+        ``conferr run --output results/out.json`` must work on a fresh
+        checkout; raising ``FileNotFoundError`` for a missing ``results/``
+        would throw away a whole completed campaign.
+        """
+        from pathlib import Path
+
+        target = Path(path).expanduser()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
     @classmethod

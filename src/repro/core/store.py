@@ -28,7 +28,7 @@ from typing import Any, Iterator, Mapping
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.errors import StoreError
 
-__all__ = ["ResultStore", "MANIFEST_VERSION"]
+__all__ = ["ResultStore", "MANIFEST_VERSION", "filename_for"]
 
 #: Bump when the on-disk layout changes incompatibly.
 MANIFEST_VERSION = 1
@@ -37,8 +37,12 @@ _MANIFEST_NAME = "manifest.json"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 
-def _filename_for(system: str) -> str:
-    """Map a system key to a safe JSONL file name."""
+def filename_for(system: str) -> str:
+    """Map a system key to a safe JSONL file name.
+
+    Public because spec validation must refuse two system labels whose
+    sanitized filenames collide (their records would interleave in one file).
+    """
     safe = _UNSAFE.sub("_", system)
     return f"{safe}.jsonl"
 
@@ -121,13 +125,39 @@ class ResultStore:
     def check_compatible(self, manifest: Mapping[str, Any]) -> None:
         """Verify a resume continues the experiment described by ``manifest``.
 
-        Compares the stored manifest against the one the caller is about to
-        run under; any difference in seed, systems or plugin configuration
+        When both the stored and the offered manifest embed a serialized
+        :class:`~repro.core.spec.ExperimentSpec`, compatibility is a
+        structured spec diff that reports the exact offending paths (worker
+        settings and the store location are ignored -- profiles are
+        executor-invariant).  Otherwise the legacy field-by-field comparison
+        applies: any difference in seed, systems or plugin configuration
         means the stored scenario ids cannot be trusted to match, so the
         resume is refused with a pointed message.
         """
         stored = self.read_manifest()
-        for field in ("kind", "seed", "systems", "plugins", "layout"):
+        # the run kind guards the spec path too: a table1 store and a suite
+        # spec may serialize identically but derive per-campaign seeds
+        # differently, so resuming across kinds would double-populate records
+        if stored.get("kind") != manifest.get("kind"):
+            raise StoreError(
+                f"store {self.root} was produced by a different run: "
+                f"kind is {stored.get('kind')!r} on disk "
+                f"but {manifest.get('kind')!r} now"
+            )
+        stored_spec, offered_spec = stored.get("spec"), manifest.get("spec")
+        if isinstance(stored_spec, Mapping) and isinstance(offered_spec, Mapping):
+            from repro.core.spec import diff_spec_dicts
+
+            diffs = diff_spec_dicts(stored_spec, offered_spec)
+            if diffs:
+                raise StoreError(
+                    f"store {self.root} was produced by a different experiment: "
+                    + "; ".join(diffs[:5])
+                    + ("; ..." if len(diffs) > 5 else "")
+                )
+            return
+        # "kind" is already handled by the early guard above
+        for field in ("seed", "systems", "plugins", "layout"):
             if stored.get(field) != manifest.get(field):
                 raise StoreError(
                     f"store {self.root} was produced by a different run: "
@@ -137,7 +167,7 @@ class ResultStore:
 
     # ------------------------------------------------------------------ records
     def path_for(self, system: str) -> Path:
-        return self.root / _filename_for(system)
+        return self.root / filename_for(system)
 
     def append(self, system: str, campaign: str, record: InjectionRecord) -> None:
         """Append one record; flushed immediately so interrupts lose at most one."""

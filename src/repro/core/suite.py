@@ -16,30 +16,19 @@ from the store is byte-identical to rendering them from the live run.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.campaign import Campaign
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.core.report import typo_resilience_table
+from repro.core.spec import ExperimentSpec, derive_seed
 from repro.core.store import ResultStore
 from repro.errors import CampaignError, StoreError
 from repro.plugins.base import ErrorGeneratorPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
 __all__ = ["CampaignSuite", "SuiteResult", "derive_seed"]
-
-
-def derive_seed(suite_seed: int, system: str, plugin: str) -> int:
-    """Stable per-(system, plugin) seed derived from one suite seed.
-
-    Uses a cryptographic digest rather than Python's ``hash`` so the value
-    survives interpreter restarts and ``PYTHONHASHSEED`` -- resuming a suite
-    in a new process must regenerate identical scenario streams.
-    """
-    digest = hashlib.sha256(f"{suite_seed}:{system}:{plugin}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") >> 1  # keep it a positive 63-bit int
 
 
 @dataclass
@@ -119,6 +108,10 @@ class CampaignSuite:
         spelling plugin itself carries the layout used for generation).
     jobs / executor:
         Worker fan-out per campaign, as in :class:`~repro.core.campaign.Campaign`.
+    spec:
+        Optional :class:`~repro.core.spec.ExperimentSpec` this suite was
+        built from; when present it is embedded in the store manifest so
+        resume compatibility is a structured spec diff.
     """
 
     def __init__(
@@ -131,6 +124,7 @@ class CampaignSuite:
         jobs: int = 1,
         executor: str | None = None,
         check_baseline: bool = True,
+        spec: ExperimentSpec | None = None,
     ):
         if not systems:
             raise CampaignError("a suite needs at least one system")
@@ -149,6 +143,25 @@ class CampaignSuite:
         self.jobs = jobs
         self.executor = executor
         self.check_baseline = check_baseline
+        self.spec = spec
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "CampaignSuite":
+        """Build the suite a declarative :class:`ExperimentSpec` describes.
+
+        The spec is validated first, so a suite built here is guaranteed to
+        reference registered systems and plugins with well-formed params.
+        """
+        spec.validate()
+        return cls(
+            spec.build_systems(),
+            spec.build_plugins(),
+            seed=spec.execution.seed,
+            layout=spec.execution.layout,
+            jobs=spec.execution.jobs,
+            executor=spec.execution.executor,
+            spec=spec,
+        )
 
     # ----------------------------------------------------------------- manifest
     def system_names(self) -> dict[str, str]:
@@ -171,7 +184,7 @@ class CampaignSuite:
 
     def manifest(self) -> dict[str, Any]:
         """The run manifest persisted alongside the records."""
-        return {
+        manifest: dict[str, Any] = {
             "kind": "suite",
             "seed": self.seed,
             "systems": self.system_names(),
@@ -182,6 +195,9 @@ class CampaignSuite:
             "layout": self.layout,
             "executor": {"jobs": self.jobs, "executor": self.executor},
         }
+        if self.spec is not None:
+            manifest["spec"] = self.spec.to_dict()
+        return manifest
 
     def campaign_seed(self, system: str, plugin_name: str) -> int:
         """Seed of one (system, plugin) campaign."""

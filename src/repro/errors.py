@@ -74,3 +74,11 @@ class CampaignError(ConfErrError):
 class StoreError(ConfErrError):
     """A persistent result store is missing, corrupt, or incompatible with
     the suite being run (mismatched seed, systems or plugin configuration)."""
+
+
+class SpecError(ConfErrError):
+    """An experiment specification is structurally or semantically invalid.
+
+    Messages are prefixed with the exact path of the offending entry
+    (``plugins[1].params.layout: unknown layout 'qwertz-xx'``) so spec files
+    can be corrected without guesswork."""

@@ -29,8 +29,8 @@ from typing import Callable, Sequence
 from repro.core.infoset import ConfigNode, ConfigSet
 from repro.core.templates.base import FaultScenario, SetFieldOperation, address_of
 from repro.core.views.structure_view import StructureView
-from repro.errors import PluginError
-from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+from repro.errors import PluginError, SpecError
+from repro.plugins.base import ErrorGeneratorPlugin, register_plugin, string_list_param
 
 __all__ = [
     "ConstraintSpec",
@@ -192,6 +192,7 @@ class ConstraintViolationPlugin(ErrorGeneratorPlugin):
     """Generate configurations violating declared cross-directive constraints."""
 
     name = "semantic-constraints"
+    param_names = ("system", "constraints")
 
     def __init__(self, constraints: Sequence[ConstraintSpec] | None = None):
         if constraints is None:
@@ -207,6 +208,40 @@ class ConstraintViolationPlugin(ErrorGeneratorPlugin):
 
     def manifest_params(self) -> dict:
         return {"constraints": [spec.name for spec in self.constraints]}
+
+    @classmethod
+    def from_params(cls, params) -> "ConstraintViolationPlugin":
+        """Build from a catalog selection: by ``system``, by constraint ``names``, or both.
+
+        ``system`` picks a shipped catalog (unknown systems fall back to the
+        combined one, exactly like :func:`default_constraints`); ``constraints``
+        selects individual relations by name from that catalog.
+        """
+        cls.check_param_names(params)
+        system = params.get("system")
+        if system is not None:
+            if not isinstance(system, str):
+                raise SpecError(f"system: expected a system name, got {system!r}")
+            # a typo'd catalog name must not silently fall back to the
+            # combined catalog; registered systems without a catalog of
+            # their own are fine (they generate an empty campaign)
+            from repro.registry import available_systems
+
+            if system.strip().lower() not in _CATALOGS and system not in available_systems():
+                raise SpecError(
+                    f"system: unknown system {system!r}; catalogs exist for "
+                    f"{', '.join(sorted(set(_CATALOGS)))}, and any registered "
+                    f"system is accepted ({', '.join(available_systems())})"
+                )
+        catalog = default_constraints(system)
+        names = params.get("constraints")
+        if names is None:
+            return cls(catalog)
+        by_name = {spec.name: spec for spec in catalog}
+        selected = string_list_param("constraints", names, allowed=tuple(by_name))
+        if not selected:
+            raise SpecError("constraints: must name at least one constraint")
+        return cls([by_name[name] for name in selected])
 
     def generate(self, view_set: ConfigSet, rng: random.Random) -> list[FaultScenario]:
         scenarios: list[FaultScenario] = []

@@ -37,7 +37,12 @@ from repro.core.templates.base import (
 )
 from repro.core.views.dns_view import DnsRecordView, VIEW_TREE_NAME, make_record_node
 from repro.errors import PluginError
-from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+from repro.plugins.base import (
+    ErrorGeneratorPlugin,
+    positive_int_param,
+    register_plugin,
+    string_list_param,
+)
 
 __all__ = ["DnsSemanticErrorsPlugin", "FAULT_CLASSES"]
 
@@ -66,6 +71,7 @@ class DnsSemanticErrorsPlugin(ErrorGeneratorPlugin):
     """
 
     name = "semantic-dns"
+    param_names = ("classes", "max_scenarios_per_class")
 
     def __init__(
         self,
@@ -88,6 +94,19 @@ class DnsSemanticErrorsPlugin(ErrorGeneratorPlugin):
             "classes": list(self.classes),
             "max_scenarios_per_class": self.max_scenarios_per_class,
         }
+
+    @classmethod
+    def from_params(cls, params) -> "DnsSemanticErrorsPlugin":
+        cls.check_param_names(params)
+        classes = None
+        if params.get("classes") is not None:
+            classes = string_list_param("classes", params["classes"], allowed=FAULT_CLASSES)
+        return cls(
+            classes=classes,
+            max_scenarios_per_class=positive_int_param(
+                "max_scenarios_per_class", params.get("max_scenarios_per_class")
+            ),
+        )
 
     # ----------------------------------------------------------------- helpers
     @staticmethod

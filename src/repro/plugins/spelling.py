@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.infoset import ConfigNode, ConfigSet
 from repro.core.templates.base import AddressIndex, FaultScenario, SetFieldOperation
@@ -30,11 +30,18 @@ from repro.core.templates.primitives import ModifyTemplate
 from repro.core.views.token_view import (
     TOKEN_DIRECTIVE_NAME,
     TOKEN_DIRECTIVE_VALUE,
+    TOKEN_SECTION_ARG,
+    TOKEN_SECTION_NAME,
     TokenView,
 )
-from repro.errors import PluginError
+from repro.errors import PluginError, SpecError
 from repro.keyboard.typist import Typist
-from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+from repro.plugins.base import (
+    ErrorGeneratorPlugin,
+    positive_int_param,
+    register_plugin,
+    string_list_param,
+)
 
 __all__ = [
     "TypoModel",
@@ -167,6 +174,16 @@ def default_models(typist: Typist | None = None) -> list[TypoModel]:
     ]
 
 
+#: Model constructors by registry name, used by spec-driven construction.
+_MODEL_BUILDERS: dict[str, Callable[[Typist], TypoModel]] = {
+    OmissionModel.name: lambda typist: OmissionModel(),
+    InsertionModel.name: lambda typist: InsertionModel(typist),
+    SubstitutionModel.name: lambda typist: SubstitutionModel(typist),
+    CaseAlterationModel.name: lambda typist: CaseAlterationModel(),
+    TranspositionModel.name: lambda typist: TranspositionModel(),
+}
+
+
 # --------------------------------------------------------------------- template
 class TypoTemplate(ModifyTemplate):
     """Adapter exposing a :class:`TypoModel` as an abstract-modify template."""
@@ -204,6 +221,7 @@ class SpellingMistakesPlugin(ErrorGeneratorPlugin):
     """
 
     name = "spelling"
+    param_names = ("token_types", "models", "mutations_per_token", "layout")
 
     def __init__(
         self,
@@ -239,6 +257,49 @@ class SpellingMistakesPlugin(ErrorGeneratorPlugin):
             "mutations_per_token": self.mutations_per_token,
             "layout": self.layout_name,
         }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "SpellingMistakesPlugin":
+        cls.check_param_names(params)
+        known_tokens = (
+            TOKEN_DIRECTIVE_NAME,
+            TOKEN_DIRECTIVE_VALUE,
+            TOKEN_SECTION_NAME,
+            TOKEN_SECTION_ARG,
+        )
+        token_types = (TOKEN_DIRECTIVE_NAME, TOKEN_DIRECTIVE_VALUE)
+        if params.get("token_types") is not None:
+            token_types = tuple(
+                string_list_param("token_types", params["token_types"], allowed=known_tokens)
+            )
+        from repro.keyboard.layouts import available_layouts, get_layout
+
+        layout = params.get("layout")
+        if layout is not None:
+            if not isinstance(layout, str):
+                raise SpecError(f"layout: expected a layout name, got {layout!r}")
+            try:
+                get_layout(layout)
+            except KeyError:
+                raise SpecError(
+                    f"layout: unknown layout {layout!r}; "
+                    f"available: {', '.join(available_layouts())}"
+                ) from None
+        models = None
+        if params.get("models") is not None:
+            names = string_list_param("models", params["models"], allowed=tuple(_MODEL_BUILDERS))
+            if not names:
+                raise SpecError("models: must name at least one typo model")
+            typist = Typist() if layout is None else Typist(get_layout(layout))
+            models = [_MODEL_BUILDERS[name](typist) for name in names]
+        return cls(
+            token_types=token_types,
+            models=models,
+            mutations_per_token=positive_int_param(
+                "mutations_per_token", params.get("mutations_per_token")
+            ),
+            layout_name=layout,
+        )
 
     # ------------------------------------------------------------------ faults
     def target_tokens(self, view_set: ConfigSet) -> list[ConfigNode]:

@@ -39,7 +39,12 @@ from repro.core.templates.primitives import (
 )
 from repro.core.views.structure_view import StructureView
 from repro.errors import TemplateError
-from repro.plugins.base import ErrorGeneratorPlugin, register_plugin
+from repro.plugins.base import (
+    ErrorGeneratorPlugin,
+    positive_int_param,
+    register_plugin,
+    string_list_param,
+)
 
 __all__ = [
     "StructuralErrorsPlugin",
@@ -109,6 +114,7 @@ class StructuralErrorsPlugin(ErrorGeneratorPlugin):
     """
 
     name = "structural"
+    param_names = ("include", "max_scenarios_per_class")
 
     ALL_CLASSES = (
         "omit-directive",
@@ -141,6 +147,19 @@ class StructuralErrorsPlugin(ErrorGeneratorPlugin):
             "include": list(self.include),
             "max_scenarios_per_class": self.max_scenarios_per_class,
         }
+
+    @classmethod
+    def from_params(cls, params) -> "StructuralErrorsPlugin":
+        cls.check_param_names(params)
+        include = None
+        if params.get("include") is not None:
+            include = string_list_param("include", params["include"], allowed=cls.ALL_CLASSES)
+        return cls(
+            include=include,
+            max_scenarios_per_class=positive_int_param(
+                "max_scenarios_per_class", params.get("max_scenarios_per_class")
+            ),
+        )
 
     def _templates(self) -> list:
         templates = []
@@ -214,6 +233,7 @@ class StructuralVariationsPlugin(ErrorGeneratorPlugin):
     """
 
     name = "structural-variations"
+    param_names = ("classes", "variants_per_class", "min_truncation")
 
     def __init__(
         self,
@@ -241,6 +261,21 @@ class StructuralVariationsPlugin(ErrorGeneratorPlugin):
             "variants_per_class": self.variants_per_class,
             "min_truncation": self.min_truncation,
         }
+
+    @classmethod
+    def from_params(cls, params) -> "StructuralVariationsPlugin":
+        cls.check_param_names(params)
+        classes = None
+        if params.get("classes") is not None:
+            classes = string_list_param("classes", params["classes"], allowed=VARIATION_CLASSES)
+        variants = positive_int_param("variants_per_class", params.get("variants_per_class"))
+        min_truncation = positive_int_param("min_truncation", params.get("min_truncation"))
+        kwargs = {}
+        if variants is not None:
+            kwargs["variants_per_class"] = variants
+        if min_truncation is not None:
+            kwargs["min_truncation"] = min_truncation
+        return cls(classes=classes, **kwargs)
 
     # ---------------------------------------------------------------- helpers
     @staticmethod

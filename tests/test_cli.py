@@ -74,6 +74,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["suite", "--plugins", ""])
 
+    def test_suite_csv_duplicates_are_deduped_order_preserving(self):
+        # 'mysql,mysql' must mean one mysql cell, not a double-counted one
+        args = build_parser().parse_args(["suite", "--systems", "mysql,mysql"])
+        assert args.systems == ["mysql"]
+        args = build_parser().parse_args(
+            ["suite", "--systems", "postgres,mysql,postgres", "--plugins", "spelling,spelling"]
+        )
+        assert args.systems == ["postgres", "mysql"]
+        assert args.plugins == ["spelling"]
+
     def test_store_and_from_store_are_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--store", "a", "--from-store", "b"])
@@ -137,6 +147,14 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Resilience profile for Postgres" in output
         assert "typo-" in output
+
+    def test_run_output_creates_missing_parent_directories(self, capsys, tmp_path):
+        # regression: --output results/out.json used to crash with a bare
+        # FileNotFoundError when results/ did not exist
+        saved = tmp_path / "results" / "nested" / "out.json"
+        assert main(["run", "--system", "postgres", "--output", str(saved)]) == 0
+        capsys.readouterr()
+        assert saved.exists()
 
     def test_table1_command(self, capsys):
         assert main(["table1", "--typos-per-directive", "2"]) == 0
@@ -204,6 +222,131 @@ class TestSuiteCommand:
         output = capsys.readouterr().out
         assert "result store" in output
         assert "Resilience profile for Postgres" in output
+
+
+class TestSpecCommands:
+    def test_suite_dump_spec_reruns_to_identical_output(self, capsys, tmp_path):
+        argv = ["suite", "--systems", "mysql,postgres", "--plugins", "spelling,semantic-constraints"]
+        assert main(argv) == 0
+        live = capsys.readouterr().out
+        assert main([*argv, "--dump-spec"]) == 0
+        spec_text = capsys.readouterr().out
+        spec_file = tmp_path / "experiment.toml"
+        spec_file.write_text(spec_text, encoding="utf-8")
+        assert main(["validate", str(spec_file)]) == 0
+        capsys.readouterr()
+        assert main(["run-spec", str(spec_file)]) == 0
+        assert capsys.readouterr().out == live
+
+    def test_run_dump_spec_reruns_to_identical_records(self, capsys, tmp_path):
+        assert main(["run", "--system", "postgres", "--plugin", "spelling", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(["run", "--system", "postgres", "--plugin", "spelling", "--dump-spec"]) == 0
+        spec_file = tmp_path / "run.toml"
+        spec_file.write_text(capsys.readouterr().out, encoding="utf-8")
+        # re-running the dumped spec persists the very same records
+        from repro.core.spec import ExperimentSpec, StoreSpec
+
+        spec = ExperimentSpec.from_file(spec_file)
+        spec = ExperimentSpec(
+            systems=spec.systems,
+            plugins=spec.plugins,
+            execution=spec.execution,
+            store=StoreSpec(root=str(tmp_path / "store")),
+        )
+        (tmp_path / "stored.toml").write_text(spec.to_toml(), encoding="utf-8")
+        assert main(["run-spec", str(tmp_path / "stored.toml")]) == 0
+        capsys.readouterr()
+        from repro.core.store import ResultStore
+
+        stored = [
+            record.to_dict() for _, record in ResultStore(tmp_path / "store").iter_records("postgres")
+        ]
+        by_id = {entry["scenario_id"]: entry["outcome"] for entry in stored}
+        assert by_id == {
+            entry["scenario_id"]: entry["outcome"] for entry in payload["records"]
+        }
+
+    def test_run_spec_json_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "systems": ["postgres"],
+                    "plugins": [{"name": "semantic-constraints", "params": {"system": "postgres"}}],
+                    "execution": {"seed": 2008},
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["run-spec", str(spec_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Postgres" in output and "# of Injected Errors" in output
+
+    def test_run_spec_store_then_resume(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "systems": ["postgres"],
+                    "plugins": ["spelling"],
+                    "execution": {"seed": 2008, "mutations_per_token": 1},
+                    "store": {"root": str(store), "resume": True},
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["run-spec", str(spec_file)]) == 0
+        first = capsys.readouterr().out
+        assert "skipped (already stored): 0" in first
+        assert main(["run-spec", str(spec_file)]) == 0
+        second = capsys.readouterr().out
+        assert "scenarios executed: 0" in second
+
+    def test_validate_reports_exact_path_and_fails(self, capsys, tmp_path):
+        spec_file = tmp_path / "bad.toml"
+        spec_file.write_text(
+            "\n".join(
+                [
+                    '[[systems]]',
+                    'name = "postgres"',
+                    "",
+                    '[[plugins]]',
+                    'name = "spelling"',
+                    "[plugins.params]",
+                    'layout = "qwertz-xx"',
+                ]
+            ),
+            encoding="utf-8",
+        )
+        assert main(["validate", str(spec_file)]) == 1
+        err = capsys.readouterr().err
+        assert "plugins[0].params.layout" in err and "qwertz-xx" in err
+        assert str(spec_file) in err  # the file is named, as docs/SPEC.md shows
+
+    def test_validate_rejects_duplicate_systems(self, capsys, tmp_path):
+        spec_file = tmp_path / "dup.json"
+        spec_file.write_text(
+            json.dumps({"systems": ["mysql", "mysql"], "plugins": ["spelling"]}),
+            encoding="utf-8",
+        )
+        assert main(["validate", str(spec_file)]) == 1
+        assert "duplicate system" in capsys.readouterr().err
+
+    def test_validate_accepts_shipped_specs(self, capsys):
+        import glob
+
+        shipped = sorted(glob.glob("examples/specs/*"))
+        assert len(shipped) >= 4
+        for path in shipped:
+            assert main(["validate", path]) == 0, path
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(shipped)
+
+    def test_run_spec_unreadable_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run-spec", str(tmp_path / "absent.toml")]) == 1
+        assert "cannot read" in capsys.readouterr().err
 
 
 class TestStoreBackedTables:
