@@ -6,6 +6,8 @@ Each module corresponds to one evaluation artefact:
 * :mod:`repro.bench.table2`  -- resilience to structural variations (Table 2),
 * :mod:`repro.bench.table3`  -- resilience to DNS semantic errors (Table 3),
 * :mod:`repro.bench.figure3` -- the MySQL vs Postgres value-typo comparison (Figure 3),
+* :mod:`repro.bench.matrix`  -- the M-systems x N-plugins resilience matrix
+  (beyond the paper: every registered system crossed with every error family),
 * :mod:`repro.bench.timing`  -- per-injection wall-clock cost (Section 5.2's timing remarks).
 
 The ``benchmarks/`` pytest-benchmark suite and the ``conferr`` CLI both call
@@ -16,6 +18,7 @@ from repro.bench.table1 import Table1Result, run_table1, table1_from_store
 from repro.bench.table2 import Table2Result, run_table2, table2_from_store
 from repro.bench.table3 import Table3Result, run_table3, table3_from_store
 from repro.bench.figure3 import Figure3Result, figure3_from_store, run_figure3
+from repro.bench.matrix import MatrixResult, matrix_from_store, matrix_spec, run_matrix
 from repro.bench.timing import ThroughputResult, campaign_throughput, time_single_injection
 
 __all__ = [
@@ -23,10 +26,13 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_figure3",
+    "run_matrix",
+    "matrix_spec",
     "table1_from_store",
     "table2_from_store",
     "table3_from_store",
     "figure3_from_store",
+    "matrix_from_store",
     "time_single_injection",
     "campaign_throughput",
     "ThroughputResult",
@@ -34,4 +40,5 @@ __all__ = [
     "Table2Result",
     "Table3Result",
     "Figure3Result",
+    "MatrixResult",
 ]

@@ -21,6 +21,11 @@ Sub-commands
 ``conferr table1`` / ``table2`` / ``table3`` / ``figure3``
     Regenerate the paper's evaluation artefacts (``--store`` persists the
     records; ``--from-store`` re-renders from disk without re-running).
+``conferr matrix``
+    Render the M-systems x N-plugins resilience matrix -- by default every
+    registered plain system (the paper's five plus nginx and sshd) crossed
+    with every cross-system error family.  ``--from-store`` re-renders a
+    stored suite/matrix run byte-identically to the live rendering.
 ``conferr report``
     Re-render a saved profile JSON file or a result-store directory.
 ``conferr list``
@@ -247,6 +252,48 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "table2":
             bench.add_argument("--variants-per-class", type=int, default=10)
 
+    matrix = sub.add_parser(
+        "matrix", help="render the M-systems x N-plugins resilience matrix"
+    )
+    from repro.bench.matrix import MATRIX_PLUGINS, MATRIX_SYSTEMS
+
+    matrix.add_argument(
+        "--systems",
+        type=_csv_of(tuple(available_systems()), "system"),
+        default=list(MATRIX_SYSTEMS),
+        metavar="A,B,...",
+        help=f"comma-separated systems (default: {','.join(MATRIX_SYSTEMS)})",
+    )
+    matrix.add_argument(
+        "--plugins",
+        type=_csv_of(tuple(available_plugins()), "plugin"),
+        default=list(MATRIX_PLUGINS),
+        metavar="A,B,...",
+        help=f"comma-separated plugins (default: {','.join(MATRIX_PLUGINS)})",
+    )
+    matrix.add_argument("--seed", type=int, default=2008)
+    matrix.add_argument("--mutations-per-token", type=_positive_int, default=1)
+    matrix.add_argument("--max-scenarios-per-class", type=_positive_int, default=None)
+    matrix_persistence = matrix.add_mutually_exclusive_group()
+    matrix_persistence.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist the run's records into this (fresh) directory",
+    )
+    matrix_persistence.add_argument(
+        "--from-store",
+        metavar="DIR",
+        default=None,
+        help="re-render from a stored suite/matrix run instead of re-running",
+    )
+    matrix.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: continue an interrupted matrix run from the store",
+    )
+    _add_executor_arguments(matrix)
+
     sub.add_parser("list", help="list available systems, plugins, dialects and layouts")
     return parser
 
@@ -444,6 +491,32 @@ def _command_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace) -> int:
+    from repro.bench.matrix import matrix_from_store, run_matrix
+
+    if args.from_store:
+        if args.resume:
+            raise SpecError(
+                "--resume needs --store (continue an interrupted run); "
+                "--from-store only re-renders the records already on disk"
+            )
+        result = matrix_from_store(ResultStore(args.from_store))
+    else:
+        result = run_matrix(
+            systems=args.systems,
+            plugins=args.plugins,
+            seed=args.seed,
+            jobs=args.jobs,
+            executor=args.executor,
+            mutations_per_token=args.mutations_per_token,
+            max_scenarios_per_class=args.max_scenarios_per_class,
+            store=ResultStore(args.store) if args.store else None,
+            resume=args.resume,
+        )
+    print(result.table_text)
+    return 0
+
+
 def _command_figure3(args: argparse.Namespace) -> int:
     from repro.bench import figure3_from_store, run_figure3
 
@@ -478,6 +551,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table2": _command_table2,
         "table3": _command_table3,
         "figure3": _command_figure3,
+        "matrix": _command_matrix,
     }
     try:
         return handlers[args.command](args)

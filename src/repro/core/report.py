@@ -38,12 +38,15 @@ __all__ = [
     "typo_resilience_table",
     "structural_support_table",
     "semantic_behaviour_table",
+    "resilience_matrix_table",
     "detection_distribution",
     "render_distribution_chart",
     "classify_structural_support",
     "classify_semantic_behaviour",
     "per_directive_detection_rates",
     "store_typo_table",
+    "store_matrix_profiles",
+    "store_matrix_table",
 ]
 
 
@@ -134,6 +137,94 @@ def semantic_behaviour_table(behaviour: Mapping[str, Mapping[str, str]]) -> str:
         for index, (fault, per_fault) in enumerate(behaviour.items())
     ]
     return format_table(["Err#", "Description of fault", *systems], rows)
+
+
+# ------------------------------------------------------------------ the matrix
+def resilience_matrix_table(
+    profiles: Mapping[str, Mapping[str, ResilienceProfile]],
+    plugin_order: Sequence[str] | None = None,
+) -> str:
+    """The M-systems x N-plugins resilience matrix.
+
+    ``profiles`` maps system display name to a mapping of plugin (campaign)
+    name to that cell's profile; columns are the systems in mapping order,
+    rows the plugins.  Each cell shows ``detected/injected (rate)`` --
+    detection at startup and by functional tests combined -- or ``n/a``
+    when the plugin injected nothing into that system (e.g. DNS semantic
+    errors against a web server).  A summary row totals each system.
+
+    The same renderer serves live suite results and result stores, which is
+    what makes ``conferr matrix`` and ``conferr matrix --from-store`` of
+    one run byte-identical.
+    """
+    systems = list(profiles)
+    if plugin_order is None:
+        seen: dict[str, None] = {}
+        for per_plugin in profiles.values():
+            for plugin in per_plugin:
+                seen.setdefault(plugin, None)
+        plugin_order = list(seen)
+
+    def cell(profile: ResilienceProfile | None) -> str:
+        if profile is None:
+            return "n/a"
+        injected = profile.injected_count()
+        if injected == 0:
+            return "n/a"
+        detected = profile.detected_count()
+        return f"{detected}/{injected} ({detected / injected:.0%})"
+
+    rows: list[list[object]] = [
+        [plugin, *[cell(profiles[system].get(plugin)) for system in systems]]
+        for plugin in plugin_order
+    ]
+
+    def overall(system: str) -> str:
+        merged = ResilienceProfile(system)
+        for profile in profiles[system].values():
+            merged.extend(profile.records)
+        return cell(merged)
+
+    rows.append(["overall", *[overall(system) for system in systems]])
+    return format_table(["", *systems], rows)
+
+
+def store_matrix_profiles(store) -> tuple[dict[str, dict[str, ResilienceProfile]], list[str] | None]:
+    """Load a store's per-(system, plugin) matrix cells in one pass.
+
+    Returns ``(profiles, plugin_order)``: profiles keyed by system display
+    name then campaign, and the manifest's plugin row order (None for
+    stores without a plugin list).  One read serves both the rendering and
+    any caller that wants the cell profiles themselves.
+    """
+    manifest = store.read_manifest()
+    plugin_order = None
+    recorded = manifest.get("plugins")
+    if isinstance(recorded, Sequence):
+        plugin_order = [
+            entry.get("name") for entry in recorded if isinstance(entry, Mapping)
+        ]
+    profiles: dict[str, dict[str, ResilienceProfile]] = {}
+    for system, per_campaign in store.load_profiles().items():
+        display = store.system_display_name(system)
+        merged = profiles.setdefault(display, {})
+        for campaign, profile in per_campaign.items():
+            existing = merged.setdefault(campaign, ResilienceProfile(display))
+            existing.extend(profile.records)
+    return profiles, plugin_order
+
+
+def store_matrix_table(store) -> str:
+    """Render the resilience matrix from a result store, without re-running.
+
+    ``store`` is a :class:`~repro.core.store.ResultStore` written by a
+    campaign suite (``conferr suite --store`` / ``conferr matrix --store``);
+    systems and plugin rows come out in manifest order, so the rendering is
+    byte-identical to the live run's
+    :meth:`~repro.core.suite.SuiteResult.matrix`.
+    """
+    profiles, plugin_order = store_matrix_profiles(store)
+    return resilience_matrix_table(profiles, plugin_order=plugin_order)
 
 
 # ------------------------------------------------------------- classification

@@ -21,7 +21,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.campaign import Campaign
 from repro.core.profile import InjectionRecord, ResilienceProfile
-from repro.core.report import typo_resilience_table
+from repro.core.report import resilience_matrix_table, typo_resilience_table
 from repro.core.spec import ExperimentSpec, derive_seed
 from repro.core.store import ResultStore
 from repro.errors import CampaignError, StoreError
@@ -68,6 +68,27 @@ class SuiteResult:
     def table1(self) -> str:
         """Table 1 layout over the suite's merged per-system profiles."""
         return typo_resilience_table(self.overall_profiles())
+
+    def profiles_by_display(self) -> dict[str, dict[str, ResilienceProfile]]:
+        """Per-(system, plugin) cell profiles keyed by system display name.
+
+        The shape the matrix renderer (and :class:`MatrixResult`) consumes;
+        keeping the display-name remapping in one place is what guarantees
+        the live rendering stays byte-identical to the store-backed one.
+        """
+        return {
+            self.system_names.get(key, key): dict(per_plugin)
+            for key, per_plugin in self.profiles.items()
+        }
+
+    def matrix(self) -> str:
+        """The systems x plugins resilience matrix of this suite.
+
+        Byte-identical to :func:`~repro.core.report.store_matrix_table`
+        over the store the same run wrote: columns are the suite's systems
+        (display names, suite order), rows its plugins (campaign order).
+        """
+        return resilience_matrix_table(self.profiles_by_display())
 
     def summary(self) -> str:
         """Multi-line human-readable overview of the whole suite."""

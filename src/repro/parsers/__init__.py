@@ -13,6 +13,8 @@ Bundled dialects
 ``pgconf``    ``postgresql.conf`` (flat ``name = value`` with quoting)
 ``apache``    Apache ``httpd.conf`` (directives + nested ``<Section>`` blocks)
 ``namedconf`` BIND ``named.conf`` (braced statements)
+``nginxconf`` nginx ``nginx.conf`` (``;``-terminated directives + nested blocks)
+``sshdconf``  OpenSSH ``sshd_config`` (case-insensitive keywords + Match blocks)
 ``bindzone``  BIND master zone files (resource records)
 ``tinydns``   djbdns ``data`` files (one record definition per line)
 ``xml``       generic XML configuration files
@@ -25,7 +27,9 @@ from repro.parsers import (  # noqa: F401  (imported for registration side effec
     ini,
     lineconf,
     namedconf,
+    nginxconf,
     pgconf,
+    sshdconf,
     tinydns,
     xmlconf,
 )

@@ -4,6 +4,15 @@ A :class:`ConfigDialect` couples a parser (native text -> :class:`ConfigTree`)
 with the matching serialiser (tree -> native text).  Dialects register
 themselves in a module-level registry so that the engine can serialise any
 tree by looking at its ``dialect`` attribute.
+
+Dialect implementations provide the template methods :meth:`_parse` and
+:meth:`_serialize`; the public :meth:`parse`/:meth:`serialize` pair wraps
+them with the source-encoding concerns every text format shares -- real
+configuration files on disk come with UTF-8 byte-order marks and Windows
+line endings, and both used to break the line-oriented parsers.  ``parse``
+strips a leading BOM and normalises CRLF to LF (recording the original
+style on the tree root), and ``serialize`` re-emits the recorded line
+endings, so a CRLF file round-trips byte-identically.
 """
 
 from __future__ import annotations
@@ -13,9 +22,43 @@ from abc import ABC, abstractmethod
 from repro.core.infoset import ConfigTree
 from repro.errors import SerializationError
 
-__all__ = ["ConfigDialect", "register_dialect", "get_dialect", "available_dialects", "serialize_tree"]
+__all__ = [
+    "ConfigDialect",
+    "register_dialect",
+    "get_dialect",
+    "available_dialects",
+    "serialize_tree",
+    "clean_source",
+]
 
 _REGISTRY: dict[str, "ConfigDialect"] = {}
+
+#: UTF-8 byte-order mark as decoded into a str.
+_BOM = "\ufeff"
+
+#: Root attribute recording the source file's line-ending style.
+NEWLINE_ATTR = "newline"
+
+
+def clean_source(text: str) -> tuple[str, str | None]:
+    """Strip a UTF-8 BOM and normalise CRLF line endings.
+
+    Returns ``(cleaned_text, newline_style)`` where ``newline_style`` is
+    ``"\\r\\n"`` when the source used Windows line endings *uniformly*
+    (``None`` otherwise), so serialisation can restore the original style.
+    A file with mixed CRLF/LF endings has no one style to restore;
+    re-emitting CRLF everywhere would rewrite the untouched LF lines, so
+    mixed files normalise to LF -- a deterministic fixed point after one
+    round-trip.
+    """
+    if text.startswith(_BOM):
+        text = text[len(_BOM):]
+    newline = None
+    if "\r\n" in text:
+        if text.count("\n") == text.count("\r\n"):
+            newline = "\r\n"
+        text = text.replace("\r\n", "\n")
+    return text, newline
 
 
 class ConfigDialect(ABC):
@@ -24,25 +67,57 @@ class ConfigDialect(ABC):
     #: Registry name; subclasses must override.
     name: str = ""
 
+    # ------------------------------------------------------------ template API
     @abstractmethod
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
-        """Parse native ``text`` into a system-specific configuration tree."""
+    def _parse(self, text: str, filename: str) -> ConfigTree:
+        """Parse *cleaned* ``text`` (no BOM, LF-only) into a configuration tree."""
 
     @abstractmethod
-    def serialize(self, tree: ConfigTree) -> str:
-        """Render ``tree`` back to native text.
+    def _serialize(self, tree: ConfigTree) -> str:
+        """Render ``tree`` to native text using LF line endings.
 
         Must raise :class:`~repro.errors.SerializationError` when the tree
         contains structures the format cannot express (the paper relies on
         this to detect impossible mutations, Sections 3.2 and 5.4).
         """
 
-    # convenience -----------------------------------------------------------
+    # ------------------------------------------------------------- public API
+    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+        """Parse native ``text`` into a system-specific configuration tree.
+
+        A leading UTF-8 BOM is stripped and CRLF line endings are normalised
+        before the dialect sees the text; the original line-ending style is
+        recorded on the tree root so :meth:`serialize` restores it.
+        """
+        cleaned, newline = clean_source(text)
+        tree = self._parse(cleaned, filename)
+        if newline is not None:
+            tree.root.set(NEWLINE_ATTR, newline)
+        return tree
+
+    def serialize(self, tree: ConfigTree) -> str:
+        """Render ``tree`` back to native text (original line endings restored).
+
+        Raises :class:`~repro.errors.SerializationError` when the tree
+        contains structures the format cannot express.
+        """
+        text = self._serialize(tree)
+        newline = tree.root.get(NEWLINE_ATTR)
+        if newline and newline != "\n":
+            text = text.replace("\n", newline)
+        return text
+
+    # ------------------------------------------------------------ convenience
     def parse_file(self, path: str) -> ConfigTree:
-        """Parse the file at ``path`` (the tree is named after its basename)."""
+        """Parse the file at ``path`` (the tree is named after its basename).
+
+        The file is read without universal-newline translation so that CRLF
+        files round-trip exactly; a UTF-8 BOM is tolerated (``parse`` strips
+        it).
+        """
         import os
 
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
             text = handle.read()
         return self.parse(text, filename=os.path.basename(path))
 

@@ -95,7 +95,7 @@ class BindZoneDialect(ConfigDialect):
 
     name = "bindzone"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         raw_lines = text.splitlines()
 
@@ -171,7 +171,7 @@ class BindZoneDialect(ConfigDialect):
             },
         )
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             lines.append(self._serialize_node(node))

@@ -35,7 +35,7 @@ class IniDialect(ConfigDialect):
 
     name = "ini"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         current: ConfigNode = root
         for line_number, raw_line in enumerate(text.splitlines(), start=1):
@@ -74,7 +74,7 @@ class IniDialect(ConfigDialect):
             },
         )
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             if node.kind == "section":

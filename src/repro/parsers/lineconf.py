@@ -35,7 +35,7 @@ class LineConfDialect(ConfigDialect):
     def __init__(self, comment_markers: tuple[str, ...] = ("#",)):
         self.comment_markers = comment_markers
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         for raw_line in text.splitlines():
             root.append(self._parse_line(raw_line))
@@ -64,7 +64,7 @@ class LineConfDialect(ConfigDialect):
             attrs={"separator": separator, "indent": match.group("indent")},
         )
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             lines.append(self._serialize_node(node))

@@ -44,7 +44,7 @@ class NamedConfDialect(ConfigDialect):
 
     name = "namedconf"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         stack: list[ConfigNode] = [root]
         for line_number, raw_line in enumerate(text.splitlines(), start=1):
@@ -95,7 +95,7 @@ class NamedConfDialect(ConfigDialect):
         root.set("trailing_newline", text.endswith("\n") or text == "")
         return ConfigTree(filename, root, dialect=self.name)
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             self._serialize_node(node, lines, depth=0)

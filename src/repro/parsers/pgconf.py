@@ -35,7 +35,7 @@ class PostgresConfDialect(ConfigDialect):
 
     name = "pgconf"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         for line_number, raw_line in enumerate(text.splitlines(), start=1):
             stripped = raw_line.strip()
@@ -71,7 +71,7 @@ class PostgresConfDialect(ConfigDialect):
             },
         )
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             lines.append(self._serialize_entry(node))

@@ -54,7 +54,7 @@ class TinyDnsDialect(ConfigDialect):
 
     name = "tinydns"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)
         for line_number, raw_line in enumerate(text.splitlines(), start=1):
             stripped = raw_line.strip()
@@ -87,7 +87,7 @@ class TinyDnsDialect(ConfigDialect):
         root.set("trailing_newline", text.endswith("\n") or text == "")
         return ConfigTree(filename, root, dialect=self.name)
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         lines: list[str] = []
         for node in tree.root.children:
             lines.append(self._serialize_node(node))

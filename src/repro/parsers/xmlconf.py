@@ -30,7 +30,7 @@ class XmlConfDialect(ConfigDialect):
 
     name = "xml"
 
-    def parse(self, text: str, filename: str = "<string>") -> ConfigTree:
+    def _parse(self, text: str, filename: str) -> ConfigTree:
         try:
             document = ET.fromstring(text)
         except ET.ParseError as exc:
@@ -51,7 +51,7 @@ class XmlConfDialect(ConfigDialect):
             node.append(self._element_to_node(child))
         return node
 
-    def serialize(self, tree: ConfigTree) -> str:
+    def _serialize(self, tree: ConfigTree) -> str:
         elements = tree.root.children_of_kind("element")
         if len(elements) != 1:
             raise SerializationError(

@@ -10,7 +10,10 @@ Three plugins reproduce the paper's models:
   duplication and misplacement of directives/sections, plus the semantically
   neutral structural *variations* of Section 5.3,
 * :class:`~repro.plugins.semantic_dns.DnsSemanticErrorsPlugin` -- RFC-1912
-  style record-level errors for DNS servers.
+  style record-level errors for DNS servers,
+* :class:`~repro.plugins.omission.OmissionDuplicationPlugin` -- whole-directive
+  and whole-section omissions plus conflicting copy-paste duplicates, the
+  error family that separates refuse/first-wins/last-wins duplicate policies.
 
 An extension plugin, :class:`~repro.plugins.semantic_db.ConstraintViolationPlugin`,
 covers the paper's other semantic class (inconsistent cross-directive
@@ -20,6 +23,7 @@ configurations).
 from repro.plugins.base import ErrorGeneratorPlugin, available_plugins, get_plugin, register_plugin
 from repro.plugins.spelling import SpellingMistakesPlugin
 from repro.plugins.structural import StructuralErrorsPlugin, StructuralVariationsPlugin
+from repro.plugins.omission import OmissionDuplicationPlugin
 from repro.plugins.semantic_dns import DnsSemanticErrorsPlugin
 from repro.plugins.semantic_db import (
     MYSQL_CONSTRAINTS,
@@ -38,6 +42,7 @@ __all__ = [
     "SpellingMistakesPlugin",
     "StructuralErrorsPlugin",
     "StructuralVariationsPlugin",
+    "OmissionDuplicationPlugin",
     "DnsSemanticErrorsPlugin",
     "ConstraintSpec",
     "ConstraintViolationPlugin",

@@ -21,7 +21,9 @@ from repro.sut.apache import SimulatedApache
 from repro.sut.base import SystemUnderTest
 from repro.sut.dns import SimulatedBIND, SimulatedDjbdns
 from repro.sut.mysql import SimulatedMySQL
+from repro.sut.nginx import SimulatedNginx
 from repro.sut.postgres import SimulatedPostgres
+from repro.sut.sshd import SimulatedSshd
 
 __all__ = ["register_system", "get_system", "available_systems"]
 
@@ -91,6 +93,11 @@ register_system("postgres", SimulatedPostgres)
 register_system("apache", SimulatedApache)
 register_system("bind", SimulatedBIND)
 register_system("djbdns", SimulatedDjbdns)
+# ...the beyond-the-paper systems (block-structured nginx, keyword/value
+# sshd with Match blocks; see docs/SYSTEMS.md for their error-detection
+# semantics)...
+register_system("nginx", SimulatedNginx)
+register_system("sshd", SimulatedSshd)
 # ...and the benchmark workload variants.
 register_system("mysql-server-only", _mysql_server_only)
 register_system("mysql-full-directives", _mysql_full_directives)

@@ -20,9 +20,11 @@ __all__ = [
     "DatabaseSmokeTest",
     "HttpGetTest",
     "DnsZoneServiceTest",
+    "SshLoginTest",
     "database_suite",
     "web_suite",
     "dns_suite",
+    "ssh_suite",
 ]
 
 
@@ -110,6 +112,30 @@ class DnsZoneServiceTest(FunctionalTest):
         return TestResult(self.name, True)
 
 
+class SshLoginTest(FunctionalTest):
+    """Open an SSH connection and log in as a regular user.
+
+    Mirrors what an administrator would do to check an SSH server is OK:
+    ``ssh admin@host`` and see a session come up.  Written against the
+    ``ssh_login(user, port)`` protocol of the simulated sshd.
+    """
+
+    name = "ssh-login"
+
+    def __init__(self, user: str = "admin", port: int = 22):
+        self.user = user
+        self.port = port
+
+    def run(self, sut: SystemUnderTest) -> TestResult:
+        try:
+            banner = sut.ssh_login(self.user, port=self.port)  # type: ignore[attr-defined]
+        except Exception as exc:
+            return TestResult(self.name, False, f"login failed: {exc}")
+        if not banner:
+            return TestResult(self.name, False, "no server banner")
+        return TestResult(self.name, True)
+
+
 def database_suite() -> list[FunctionalTest]:
     """The paper's database diagnosis script."""
     return [DatabaseSmokeTest()]
@@ -118,6 +144,11 @@ def database_suite() -> list[FunctionalTest]:
 def web_suite(port: int = 80) -> list[FunctionalTest]:
     """The paper's web-server diagnosis script."""
     return [HttpGetTest(port=port)]
+
+
+def ssh_suite(port: int = 22, user: str = "admin") -> list[FunctionalTest]:
+    """The SSH diagnosis script: connect and log in once."""
+    return [SshLoginTest(user=user, port=port)]
 
 
 def dns_suite(forward_zone: str, reverse_zone: str) -> list[FunctionalTest]:

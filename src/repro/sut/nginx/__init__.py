@@ -1,0 +1,19 @@
+"""Simulated nginx web server (a beyond-the-paper system under test)."""
+
+from repro.sut.nginx.directives import (
+    DEFAULT_MIME_TYPES,
+    DEFAULT_NGINX_CONF,
+    NGINX_BLOCKS,
+    NGINX_DIRECTIVES,
+    NginxDirectiveSpec,
+)
+from repro.sut.nginx.server import SimulatedNginx
+
+__all__ = [
+    "SimulatedNginx",
+    "NginxDirectiveSpec",
+    "NGINX_DIRECTIVES",
+    "NGINX_BLOCKS",
+    "DEFAULT_NGINX_CONF",
+    "DEFAULT_MIME_TYPES",
+]

@@ -1,0 +1,151 @@
+"""Directive table and default configuration of the simulated nginx server.
+
+The table declares, for every directive the default ``nginx.conf`` uses,
+how its arguments are validated, in which block contexts it may appear and
+whether it may be repeated within one context.  The validation kinds encode
+nginx's real behaviour, which sits at the *strict* end of the paper's
+spectrum:
+
+* unknown directives abort startup (``unknown directive "..."``),
+* a directive in the wrong context aborts startup
+  (``"listen" directive is not allowed here``),
+* a **duplicate** non-repeatable directive aborts startup
+  (``"root" directive is duplicate``) -- the behaviour the
+  omission/duplication error family probes: nginx catches the conflicting
+  copy-paste slip that MySQL (last value wins) and sshd (first value wins)
+  both silently ignore,
+* numeric arguments are validated; ``worker_processes`` also accepts
+  ``auto``,
+* a missing ``events`` block aborts startup
+  (``no "events" section in configuration``).
+
+Like the other simulated servers, path arguments are accepted as-is: the
+simulation cannot check the file system the way real nginx does, so a typo
+inside a ``root`` path is *ignored* -- the laxity shows up in the rendered
+matrix exactly where the paper's methodology predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NginxDirectiveSpec", "NGINX_DIRECTIVES", "NGINX_BLOCKS", "DEFAULT_NGINX_CONF", "DEFAULT_MIME_TYPES"]
+
+
+@dataclass(frozen=True)
+class NginxDirectiveSpec:
+    """Validation rule for one nginx directive.
+
+    ``contexts`` lists the block names the directive may appear in
+    (``"main"`` is the top level); ``repeatable`` is False for directives
+    real nginx rejects as ``directive is duplicate`` when set twice in one
+    context.
+    """
+
+    name: str
+    kind: str = "freeform"
+    contexts: tuple[str, ...] = ("main",)
+    choices: tuple[str, ...] = ()
+    repeatable: bool = False
+    description: str = ""
+
+
+def _table(specs: list[NginxDirectiveSpec]) -> dict[str, NginxDirectiveSpec]:
+    return {spec.name: spec for spec in specs}
+
+
+#: Block directives and the contexts each may open in.
+NGINX_BLOCKS: dict[str, tuple[str, ...]] = {
+    "events": ("main",),
+    "http": ("main",),
+    "server": ("http",),
+    "location": ("server", "location"),
+    "upstream": ("http",),
+    "types": ("http", "server", "location"),
+}
+
+
+NGINX_DIRECTIVES: dict[str, NginxDirectiveSpec] = _table(
+    [
+        # main context
+        NginxDirectiveSpec("user", "freeform", contexts=("main",)),
+        NginxDirectiveSpec("worker_processes", "number_or_auto", contexts=("main",)),
+        NginxDirectiveSpec("pid", "path", contexts=("main",)),
+        NginxDirectiveSpec("error_log", "path", contexts=("main", "http", "server", "location"), repeatable=True),
+        NginxDirectiveSpec("worker_rlimit_nofile", "number", contexts=("main",)),
+        # events
+        NginxDirectiveSpec("worker_connections", "number", contexts=("events",)),
+        NginxDirectiveSpec("multi_accept", "onoff", contexts=("events",)),
+        # http
+        NginxDirectiveSpec("include", "include", contexts=("main", "events", "http", "server", "location"), repeatable=True),
+        NginxDirectiveSpec("default_type", "freeform", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("access_log", "path", contexts=("http", "server", "location"), repeatable=True),
+        NginxDirectiveSpec("sendfile", "onoff", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("tcp_nopush", "onoff", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("tcp_nodelay", "onoff", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("keepalive_timeout", "number", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("gzip", "onoff", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("client_max_body_size", "size", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("server_tokens", "onoff", contexts=("http", "server", "location")),
+        # server
+        NginxDirectiveSpec("listen", "listen", contexts=("server",), repeatable=True),
+        NginxDirectiveSpec("server_name", "freeform", contexts=("server",), repeatable=True),
+        NginxDirectiveSpec("root", "path", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("index", "freeform", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("try_files", "freeform", contexts=("server", "location")),
+        NginxDirectiveSpec("error_page", "freeform", contexts=("http", "server", "location"), repeatable=True),
+        NginxDirectiveSpec("return", "freeform", contexts=("server", "location")),
+        NginxDirectiveSpec("proxy_pass", "freeform", contexts=("location",)),
+        NginxDirectiveSpec("expires", "freeform", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("autoindex", "onoff", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("charset", "freeform", contexts=("http", "server", "location")),
+        NginxDirectiveSpec("add_header", "freeform", contexts=("http", "server", "location"), repeatable=True),
+    ]
+)
+
+
+#: Default nginx.conf of the simulated server (a trimmed distribution file).
+DEFAULT_NGINX_CONF = """\
+user  nginx;
+worker_processes  1;
+pid  /var/run/nginx.pid;
+
+events {
+    worker_connections  1024;
+}
+
+http {
+    include       mime.types;
+    default_type  application/octet-stream;
+    sendfile      on;
+    keepalive_timeout  65;
+
+    server {
+        listen       80;
+        server_name  localhost;
+        root         /usr/share/nginx/html;
+        index        index.html index.htm;
+
+        location / {
+            autoindex  off;
+        }
+    }
+}
+"""
+
+#: The mime.types companion file the default configuration includes;
+#: injections can target it too (cross-file errors, paper Section 3.1).
+DEFAULT_MIME_TYPES = """\
+types {
+    text/html                   html htm shtml;
+    text/css                    css;
+    image/gif                   gif;
+    image/jpeg                  jpeg jpg;
+    application/javascript      js;
+    application/json            json;
+    image/png                   png;
+    image/svg+xml               svg svgz;
+    application/zip             zip;
+    application/octet-stream    bin exe dll;
+}
+"""

@@ -1,0 +1,19 @@
+"""Simulated OpenSSH sshd server (a beyond-the-paper system under test)."""
+
+from repro.sut.sshd.options import (
+    DEFAULT_SSHD_CONFIG,
+    MATCH_ALLOWED_KEYWORDS,
+    MATCH_CRITERIA,
+    REPEATABLE_KEYWORDS,
+    SSHD_OPTIONS,
+)
+from repro.sut.sshd.server import SimulatedSshd
+
+__all__ = [
+    "SimulatedSshd",
+    "SSHD_OPTIONS",
+    "REPEATABLE_KEYWORDS",
+    "MATCH_ALLOWED_KEYWORDS",
+    "MATCH_CRITERIA",
+    "DEFAULT_SSHD_CONFIG",
+]

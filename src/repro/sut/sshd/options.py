@@ -1,0 +1,140 @@
+"""Keyword table and default configuration of the simulated OpenSSH sshd.
+
+Reuses the :class:`~repro.sut.options.OptionSpec` vocabulary of the
+database servers.  The per-keyword kinds encode sshd's validation:
+
+* ``int``   -- strict integer parsing (``Badly formatted port number`` /
+  ``integer expected`` abort startup),
+* ``bool``  -- only ``yes``/``no`` are accepted,
+* ``enum``  -- fixed word list (``PermitRootLogin``, ``LogLevel`` ...),
+* ``string`` / ``path`` -- accepted as-is.
+
+Keyword *names* are case-insensitive (``port`` == ``Port``), which is why
+the lookups go through :meth:`OptionTable.get` rather than the MySQL-style
+case-sensitive resolver.  ``REPEATABLE_KEYWORDS`` lists the keywords that
+accumulate (``Port``, ``HostKey``, ``ListenAddress`` ...); for everything
+else sshd keeps the **first** value and silently ignores later ones -- the
+exact opposite of MySQL's last-value-wins, and the reason a conflicting
+duplicated directive is invisible to sshd until a functional test trips
+over the stale first value.
+
+``MATCH_ALLOWED_KEYWORDS`` is the subset that may appear inside a
+``Match`` block; anything else aborts startup with
+``Directive 'X' is not allowed within a Match block``.
+"""
+
+from __future__ import annotations
+
+from repro.sut.options import OptionSpec, OptionTable
+
+__all__ = [
+    "SSHD_OPTIONS",
+    "REPEATABLE_KEYWORDS",
+    "MATCH_ALLOWED_KEYWORDS",
+    "MATCH_CRITERIA",
+    "DEFAULT_SSHD_CONFIG",
+]
+
+_LOG_LEVELS = ("QUIET", "FATAL", "ERROR", "INFO", "VERBOSE", "DEBUG", "DEBUG1", "DEBUG2", "DEBUG3")
+
+SSHD_OPTIONS = OptionTable(
+    [
+        OptionSpec("Port", "int", default="22", minimum=1, maximum=65535),
+        OptionSpec("AddressFamily", "enum", default="any", choices=("any", "inet", "inet6")),
+        OptionSpec("ListenAddress", "string"),
+        OptionSpec("HostKey", "path"),
+        OptionSpec("Protocol", "string", default="2"),
+        OptionSpec("LogLevel", "enum", default="INFO", choices=_LOG_LEVELS),
+        OptionSpec("SyslogFacility", "enum", default="AUTH",
+                   choices=("DAEMON", "USER", "AUTH", "AUTHPRIV", "LOCAL0", "LOCAL1", "LOCAL2",
+                            "LOCAL3", "LOCAL4", "LOCAL5", "LOCAL6", "LOCAL7")),
+        OptionSpec("LoginGraceTime", "int", default="120", minimum=0),
+        OptionSpec("PermitRootLogin", "enum", default="prohibit-password",
+                   choices=("yes", "no", "prohibit-password", "without-password", "forced-commands-only")),
+        OptionSpec("StrictModes", "bool", default="yes"),
+        OptionSpec("MaxAuthTries", "int", default="6", minimum=1),
+        OptionSpec("MaxSessions", "int", default="10", minimum=0),
+        OptionSpec("PubkeyAuthentication", "bool", default="yes"),
+        OptionSpec("AuthorizedKeysFile", "path", default=".ssh/authorized_keys"),
+        OptionSpec("PasswordAuthentication", "bool", default="yes"),
+        OptionSpec("PermitEmptyPasswords", "bool", default="no"),
+        OptionSpec("ChallengeResponseAuthentication", "bool", default="no"),
+        OptionSpec("UsePAM", "bool", default="yes"),
+        OptionSpec("AllowTcpForwarding", "enum", default="yes", choices=("yes", "no", "local", "remote")),
+        OptionSpec("GatewayPorts", "enum", default="no", choices=("yes", "no", "clientspecified")),
+        OptionSpec("X11Forwarding", "bool", default="no"),
+        OptionSpec("PrintMotd", "bool", default="yes"),
+        OptionSpec("TCPKeepAlive", "bool", default="yes"),
+        OptionSpec("ClientAliveInterval", "int", default="0", minimum=0),
+        OptionSpec("ClientAliveCountMax", "int", default="3", minimum=0),
+        OptionSpec("UseDNS", "bool", default="no"),
+        OptionSpec("PidFile", "path", default="/var/run/sshd.pid"),
+        OptionSpec("MaxStartups", "string", default="10:30:100"),
+        OptionSpec("PermitTunnel", "enum", default="no",
+                   choices=("yes", "no", "point-to-point", "ethernet")),
+        OptionSpec("Banner", "path", default="none"),
+        OptionSpec("AcceptEnv", "string"),
+        OptionSpec("Subsystem", "string"),
+        OptionSpec("AllowUsers", "string"),
+        OptionSpec("DenyUsers", "string"),
+        OptionSpec("ForceCommand", "string"),
+    ]
+)
+
+#: Keywords that accumulate across repeated lines instead of first-wins.
+REPEATABLE_KEYWORDS = frozenset(
+    {"port", "hostkey", "listenaddress", "acceptenv", "subsystem", "allowusers", "denyusers"}
+)
+
+#: Canonical keyword names allowed inside a Match block.
+MATCH_ALLOWED_KEYWORDS = frozenset(
+    {
+        "allowtcpforwarding", "allowusers", "authorizedkeysfile", "banner",
+        "challengeresponseauthentication", "clientaliveinterval", "clientalivecountmax",
+        "denyusers", "forcecommand", "gatewayports", "loglevel", "maxauthtries",
+        "maxsessions", "passwordauthentication", "permitemptypasswords",
+        "permitrootlogin", "permittunnel", "pubkeyauthentication", "x11forwarding",
+    }
+)
+
+#: Criteria a Match line may test.
+MATCH_CRITERIA = frozenset({"user", "group", "host", "address", "localaddress", "localport", "all"})
+
+#: Default sshd_config of the simulated server (a trimmed distribution file).
+DEFAULT_SSHD_CONFIG = """\
+# sshd_config: simulated OpenSSH server configuration
+Port 22
+ListenAddress 0.0.0.0
+HostKey /etc/ssh/ssh_host_rsa_key
+HostKey /etc/ssh/ssh_host_ed25519_key
+
+LogLevel INFO
+LoginGraceTime 120
+PermitRootLogin prohibit-password
+StrictModes yes
+MaxAuthTries 6
+MaxSessions 10
+
+PubkeyAuthentication yes
+PasswordAuthentication yes
+PermitEmptyPasswords no
+ChallengeResponseAuthentication no
+UsePAM yes
+
+AllowTcpForwarding yes
+X11Forwarding no
+PrintMotd yes
+TCPKeepAlive yes
+ClientAliveInterval 0
+ClientAliveCountMax 3
+UseDNS no
+PidFile /var/run/sshd.pid
+MaxStartups 10:30:100
+Banner none
+Subsystem sftp /usr/lib/openssh/sftp-server
+
+Match User backup
+    PasswordAuthentication no
+    AllowTcpForwarding no
+    X11Forwarding no
+"""

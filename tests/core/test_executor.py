@@ -19,21 +19,28 @@ from repro.core.executor import (
 )
 from repro.core.templates.base import FaultScenario
 from repro.errors import CampaignError
-from repro.plugins import SpellingMistakesPlugin, StructuralErrorsPlugin
+from repro.plugins import OmissionDuplicationPlugin, SpellingMistakesPlugin, StructuralErrorsPlugin
+from repro.registry import get_system
 from repro.bench.workloads import simulated_sut_factories
 
 SEED = 2008
+
+#: The paper's five systems plus the beyond-the-paper SUTs: determinism
+#: across executor strategies must hold for every registered plain system.
+ALL_SYSTEMS = sorted(simulated_sut_factories()) + ["nginx", "sshd"]
 
 
 def _plugins_for(system: str):
     plugins = [SpellingMistakesPlugin(mutations_per_token=1)]
     if system in ("mysql", "postgres", "apache"):
         plugins.append(StructuralErrorsPlugin(include=["omit-directive"]))
+    if system in ("nginx", "sshd", "mysql"):
+        plugins.append(OmissionDuplicationPlugin(max_scenarios_per_class=6))
     return plugins
 
 
 def _run(system: str, jobs: int, executor: str | None):
-    factory = simulated_sut_factories()[system]
+    factory = get_system(system)
     campaign = Campaign(
         factory,
         _plugins_for(system),
@@ -49,7 +56,7 @@ def _run(system: str, jobs: int, executor: str | None):
 class TestDeterminismAcrossStrategies:
     """Same seed => byte-identical summaries for every strategy and SUT."""
 
-    @pytest.mark.parametrize("system", sorted(simulated_sut_factories()))
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
     def test_thread_and_process_match_serial(self, system):
         serial_summary, serial_ids = _run(system, jobs=1, executor=None)
         thread_summary, thread_ids = _run(system, jobs=4, executor="thread")

@@ -198,3 +198,80 @@ class TestResume:
         small_suite().run(store=store)
         resumed = small_suite(jobs=3, executor="thread").run(store=store, resume=True)
         assert resumed.total_executed() == 0
+
+
+class TestKilledRunResumeEquivalence:
+    """A run killed mid-store and resumed equals an uninterrupted run.
+
+    The "kill" is an exception raised from inside the store's append path
+    (the moment a real interrupt would strike), optionally followed by a
+    torn partial line -- the worst state a crash can leave behind.
+    """
+
+    @staticmethod
+    def _beyond_paper_suite(**kwargs) -> CampaignSuite:
+        from repro.plugins import OmissionDuplicationPlugin
+        from repro.registry import get_system
+
+        defaults = dict(seed=11)
+        defaults.update(kwargs)
+        return CampaignSuite(
+            {"nginx": get_system("nginx"), "sshd": get_system("sshd")},
+            [
+                OmissionDuplicationPlugin(max_scenarios_per_class=6),
+                SpellingMistakesPlugin(mutations_per_token=1),
+            ],
+            **defaults,
+        )
+
+    class _KilledMidRun(Exception):
+        pass
+
+    def _killing_store(self, root, after: int) -> ResultStore:
+        outer = self
+
+        class KillingStore(ResultStore):
+            appended = 0
+
+            def append(self, system, campaign, record):
+                if KillingStore.appended >= after:
+                    raise outer._KilledMidRun(f"killed after {after} records")
+                KillingStore.appended += 1
+                super().append(system, campaign, record)
+
+        return KillingStore(root)
+
+    def test_resumed_matrix_equals_uninterrupted_matrix(self, tmp_path):
+        reference_store = ResultStore(tmp_path / "uninterrupted")
+        reference = self._beyond_paper_suite().run(store=reference_store)
+
+        killed_root = tmp_path / "killed"
+        with pytest.raises(self._KilledMidRun):
+            self._beyond_paper_suite().run(store=self._killing_store(killed_root, after=9))
+
+        # the crash may also have torn the final line mid-write
+        jsonl_files = sorted(killed_root.glob("*.jsonl"))
+        assert jsonl_files, "the killed run left records behind"
+        with open(jsonl_files[0], "ab") as handle:
+            handle.write(b'{"campaign": "omission", "rec')
+
+        resumed = self._beyond_paper_suite().run(
+            store=ResultStore(killed_root), resume=True
+        )
+        assert resumed.total_skipped() > 0
+        assert resumed.total_executed() < reference.total_executed()
+        assert resumed.matrix() == reference.matrix()
+        assert resumed.table1() == reference.table1()
+
+        # and the on-disk rendering of both stores is identical too
+        from repro.core.report import store_matrix_table
+
+        assert store_matrix_table(ResultStore(killed_root)) == store_matrix_table(reference_store)
+
+    def test_resumed_store_renders_byte_identical_from_disk(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = self._beyond_paper_suite().run(store=store)
+
+        from repro.core.report import store_matrix_table
+
+        assert store_matrix_table(store) == result.matrix()

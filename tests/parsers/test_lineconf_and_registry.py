@@ -28,10 +28,10 @@ class TestRegistry:
         class Nameless(ConfigDialect):
             name = ""
 
-            def parse(self, text, filename="<string>"):
+            def _parse(self, text, filename):
                 raise NotImplementedError
 
-            def serialize(self, tree):
+            def _serialize(self, tree):
                 raise NotImplementedError
 
         with pytest.raises(ValueError):

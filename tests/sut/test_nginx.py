@@ -1,0 +1,148 @@
+"""Behavioural tests for the simulated nginx server."""
+
+from repro.sut.nginx import DEFAULT_MIME_TYPES, DEFAULT_NGINX_CONF, SimulatedNginx
+
+
+def _files(config: str | None = None, mime: str | None = None) -> dict[str, str]:
+    return {
+        "nginx.conf": config if config is not None else DEFAULT_NGINX_CONF,
+        "mime.types": mime if mime is not None else DEFAULT_MIME_TYPES,
+    }
+
+
+def _minimal(extra_http: str = "", server_body: str = "listen 80;\nroot /srv;\n") -> str:
+    body = "\n".join("        " + line for line in server_body.splitlines())
+    return (
+        "events {\n    worker_connections 512;\n}\n"
+        "http {\n" + extra_http + "    server {\n" + body + "\n    }\n}\n"
+    )
+
+
+class TestStartup:
+    def test_default_configuration_starts_and_serves(self):
+        sut = SimulatedNginx()
+        result = sut.start(sut.default_configuration())
+        assert result.started, result.errors
+        status, body = sut.http_get("/index.html")
+        assert status == 200 and "nginx" in body
+
+    def test_unknown_directive_aborts(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files(_minimal(extra_http="    sendfil on;\n")))
+        assert not result.started
+        assert 'unknown directive "sendfil"' in result.errors[0]
+
+    def test_unknown_block_aborts(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files("events {\n}\nhttpd {\n}\n"))
+        assert not result.started
+        assert 'unknown directive "httpd"' in result.errors[0]
+
+    def test_directive_in_wrong_context_aborts(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files("listen 80;\nevents {\n}\n"))
+        assert not result.started
+        assert '"listen" directive is not allowed here' in result.errors[0]
+
+    def test_missing_events_block_aborts(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files("http {\n    server {\n        listen 80;\n    }\n}\n"))
+        assert not result.started
+        assert 'no "events" section' in result.errors[0]
+
+    def test_duplicate_directive_aborts(self):
+        sut = SimulatedNginx()
+        config = _minimal(server_body="listen 80;\nroot /srv;\nroot /other;\n")
+        result = sut.start(_files(config))
+        assert not result.started
+        assert '"root" directive is duplicate' in result.errors[0]
+
+    def test_repeatable_directives_may_repeat(self):
+        sut = SimulatedNginx()
+        config = _minimal(server_body="listen 80;\nlisten 8080;\nroot /srv;\n")
+        result = sut.start(_files(config))
+        assert result.started, result.errors
+        assert sut.listen_ports == [80, 8080]
+
+    def test_invalid_number_aborts(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files("events {\n    worker_connections many;\n}\nhttp {\n}\n"))
+        assert not result.started
+        assert 'invalid value "many"' in result.errors[0]
+
+    def test_worker_processes_accepts_auto(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files("worker_processes auto;\n" + _minimal()))
+        assert result.started, result.errors
+
+    def test_onoff_value_is_validated(self):
+        sut = SimulatedNginx()
+        result = sut.start(_files(_minimal(extra_http="    sendfile maybe;\n")))
+        assert not result.started
+        assert 'it must be "on" or "off"' in result.errors[0]
+
+
+class TestIncludes:
+    def test_missing_include_file_aborts(self):
+        sut = SimulatedNginx()
+        config = "events {\n}\nhttp {\n    include mime.typos;\n}\n"
+        result = sut.start(_files(config))
+        assert not result.started
+        assert 'open() "mime.typos" failed' in result.errors[0]
+
+    def test_included_mime_types_populate_the_map(self):
+        sut = SimulatedNginx()
+        result = sut.start(sut.default_configuration())
+        assert result.started
+        assert sut.mime_map.get("html") == "text/html"
+
+    def test_events_block_arriving_via_include_counts(self):
+        # regression: the events/default-port checks used to scan only the
+        # main file's own children, not include-resolved content
+        sut = SimulatedNginx()
+        config = "include base.conf;\nhttp {\n    server {\n        root /srv;\n    }\n}\n"
+        files = _files(config)
+        files["base.conf"] = "events {\n    worker_connections 1024;\n}\n"
+        result = sut.start(files)
+        assert result.started, result.errors
+        assert sut.listen_ports == [80]  # default port for the listen-less server
+
+    def test_duplicate_across_include_boundary_aborts(self):
+        # regression: duplicate tracking used to reset at the include
+        # boundary, silently accepting a main-file/include clash
+        sut = SimulatedNginx()
+        config = (
+            "events {\n}\nhttp {\n    default_type text/plain;\n"
+            "    include extra.conf;\n    server {\n        listen 80;\n    }\n}\n"
+        )
+        files = _files(config)
+        files["extra.conf"] = "default_type application/json;\n"
+        result = sut.start(files)
+        assert not result.started
+        assert '"default_type" directive is duplicate' in result.errors[0]
+
+    def test_error_inside_included_file_aborts(self):
+        sut = SimulatedNginx()
+        broken_mime = "types {\n    text/html html;\n}\nlisten 80;\n"
+        result = sut.start(_files(mime=broken_mime))
+        assert not result.started
+        assert '"listen" directive is not allowed here' in result.errors[0]
+
+
+class TestFunctionalDetection:
+    def test_listen_port_typo_detected_only_by_functional_test(self):
+        sut = SimulatedNginx()
+        config = _minimal(server_body="listen 8080;\nroot /srv;\n")
+        result = sut.start(_files(config))
+        assert result.started  # startup does not know which port was intended
+        [test] = sut.functional_tests()
+        outcome = test.run(sut)
+        assert not outcome.passed  # nothing answers on port 80
+
+    def test_root_path_typo_is_ignored(self):
+        sut = SimulatedNginx()
+        config = _minimal(server_body="listen 80;\nroot /svr;\n")
+        result = sut.start(_files(config))
+        assert result.started
+        [test] = sut.functional_tests()
+        assert test.run(sut).passed  # the simulation cannot stat the path

@@ -1,0 +1,147 @@
+"""Behavioural tests for the simulated OpenSSH sshd."""
+
+from repro.sut.sshd import DEFAULT_SSHD_CONFIG, SimulatedSshd
+
+
+def _files(config: str) -> dict[str, str]:
+    return {"sshd_config": config}
+
+
+MINIMAL = "Port 22\nHostKey /etc/ssh/ssh_host_rsa_key\n"
+
+
+class TestStartup:
+    def test_default_configuration_starts_and_logs_in(self):
+        sut = SimulatedSshd()
+        result = sut.start(sut.default_configuration())
+        assert result.started, result.errors
+        [test] = sut.functional_tests()
+        assert test.run(sut).passed
+
+    def test_unknown_keyword_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "PermitRootLogn no\n"))
+        assert not result.started
+        assert "Bad configuration option: PermitRootLogn" in result.errors[0]
+
+    def test_keywords_are_case_insensitive(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files("pOrT 2022\nhostkey /etc/ssh/key\nPERMITROOTLOGIN no\n"))
+        assert result.started, result.errors
+        assert sut.listen_ports == [2022]
+        assert sut.effective_settings["permitrootlogin"] == "no"
+
+    def test_missing_argument_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "MaxAuthTries\n"))
+        assert not result.started
+        assert "missing argument" in result.errors[0]
+
+    def test_bad_port_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files("Port 2f2\nHostKey /etc/ssh/key\n"))
+        assert not result.started
+        assert "Badly formatted port number" in result.errors[0]
+
+    def test_bad_boolean_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "X11Forwarding maybe\n"))
+        assert not result.started
+        assert "bad yes/no argument" in result.errors[0]
+
+    def test_bad_enum_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "PermitRootLogin sometimes\n"))
+        assert not result.started
+
+    def test_omitting_all_hostkeys_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files("Port 22\nPermitRootLogin no\n"))
+        assert not result.started
+        assert "no hostkeys available" in result.errors[0]
+
+    def test_omitting_port_falls_back_to_22(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files("HostKey /etc/ssh/key\n"))
+        assert result.started
+        assert sut.listen_ports == [22]
+
+
+class TestDuplicatePolicy:
+    """sshd keeps the *first* value of a repeated keyword, silently."""
+
+    def test_first_value_wins_for_conflicting_duplicates(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "MaxAuthTries 6\nMaxAuthTries 12\n"))
+        assert result.started, result.errors
+        assert sut.effective_settings["maxauthtries"] == 6
+        assert result.warnings == []  # the duplicate is entirely silent
+
+    def test_repeatable_keywords_accumulate(self):
+        sut = SimulatedSshd()
+        result = sut.start(
+            _files("Port 22\nPort 2022\nHostKey /a\nHostKey /b\nListenAddress 0.0.0.0\n")
+        )
+        assert result.started
+        assert sut.listen_ports == [22, 2022]
+        assert sut.host_keys == ["/a", "/b"]
+
+
+class TestMatchBlocks:
+    def test_disallowed_directive_in_match_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "Match User a\n    Port 2022\n"))
+        assert not result.started
+        assert "'Port' is not allowed within a Match block" in result.errors[0]
+
+    def test_unsupported_match_attribute_aborts(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files(MINIMAL + "Match Shell bash\n    X11Forwarding no\n"))
+        assert not result.started
+        assert "Unsupported Match attribute" in result.errors[0]
+
+    def test_repeatable_keywords_inside_match_blocks_apply(self):
+        # regression: AllowUsers/DenyUsers in a Match block used to be
+        # silently discarded, letting a denied user log in
+        sut = SimulatedSshd()
+        config = MINIMAL + "Match User admin\n    DenyUsers admin\n"
+        assert sut.start(_files(config)).started
+        assert sut.settings_for("admin")["denyusers"] == ["admin"]
+        [test] = sut.functional_tests()
+        assert not test.run(sut).passed
+
+    def test_match_overrides_apply_to_matching_user_only(self):
+        sut = SimulatedSshd()
+        config = MINIMAL + "X11Forwarding yes\nMatch User backup\n    X11Forwarding no\n"
+        assert sut.start(_files(config)).started
+        assert sut.settings_for("admin")["x11forwarding"] is True
+        assert sut.settings_for("backup")["x11forwarding"] is False
+
+
+class TestFunctionalDetection:
+    def test_port_typo_detected_only_by_functional_test(self):
+        sut = SimulatedSshd()
+        result = sut.start(_files("Port 2222\nHostKey /etc/ssh/key\n"))
+        assert result.started
+        [test] = sut.functional_tests()
+        assert not test.run(sut).passed  # nothing listens on 22
+
+    def test_disabling_all_authentication_fails_the_login_probe(self):
+        sut = SimulatedSshd()
+        config = MINIMAL + "PasswordAuthentication no\nPubkeyAuthentication no\n"
+        assert sut.start(_files(config)).started
+        [test] = sut.functional_tests()
+        outcome = test.run(sut)
+        assert not outcome.passed
+        assert "no authentication methods" in outcome.detail
+
+    def test_denyusers_locks_the_probe_user_out(self):
+        sut = SimulatedSshd()
+        assert sut.start(_files(MINIMAL + "DenyUsers admin guest\n")).started
+        [test] = sut.functional_tests()
+        assert not test.run(sut).passed
+
+    def test_default_config_has_backup_match_block(self):
+        sut = SimulatedSshd()
+        assert sut.start({"sshd_config": DEFAULT_SSHD_CONFIG}).started
+        assert sut.settings_for("backup")["passwordauthentication"] is False

@@ -402,3 +402,77 @@ class TestStoreBackedTables:
         capsys.readouterr()
         assert main(["table1", "--from-store", store]) == 0
         assert "Postgres" in capsys.readouterr().out
+
+
+class TestMatrixCommand:
+    def test_matrix_defaults_cover_all_plain_systems(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.systems == ["mysql", "postgres", "apache", "bind", "djbdns", "nginx", "sshd"]
+        assert "omission" in args.plugins
+
+    def test_matrix_store_and_from_store_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--store", "a", "--from-store", "b"])
+
+    def test_matrix_live_then_from_store_byte_identical(self, capsys, tmp_path):
+        store = tmp_path / "mx"
+        assert main([
+            "matrix", "--systems", "nginx,sshd", "--plugins", "omission",
+            "--max-scenarios-per-class", "4", "--store", str(store),
+        ]) == 0
+        live = capsys.readouterr().out
+        assert main(["matrix", "--from-store", str(store)]) == 0
+        assert capsys.readouterr().out == live
+        assert "nginx" in live and "sshd" in live and "omission" in live
+
+    def test_matrix_from_suite_store_renders(self, capsys, tmp_path):
+        # acceptance path: a `conferr suite --store` over the new systems
+        # re-renders through `conferr matrix --from-store`
+        store = tmp_path / "suite-store"
+        assert main([
+            "suite", "--systems", "nginx,sshd", "--plugins", "omission,spelling",
+            "--max-scenarios-per-class", "3", "--store", str(store),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["matrix", "--from-store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "omission" in out and "spelling" in out and "overall" in out
+
+    def test_matrix_from_store_with_resume_is_refused(self, capsys, tmp_path):
+        # regression: --resume used to be silently ignored with --from-store,
+        # re-rendering a partial store instead of continuing the run
+        store = tmp_path / "mx"
+        assert main([
+            "matrix", "--systems", "nginx", "--plugins", "omission",
+            "--max-scenarios-per-class", "2", "--store", str(store),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["matrix", "--from-store", str(store), "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "--resume needs --store" in err
+
+    def test_matrix_resume_continues_into_the_same_store(self, capsys, tmp_path):
+        store = tmp_path / "mx"
+        argv = [
+            "matrix", "--systems", "nginx", "--plugins", "omission",
+            "--max-scenarios-per-class", "2", "--store", str(store),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_command_accepts_new_systems(self, capsys):
+        assert main(["run", "--system", "nginx", "--plugin", "omission"]) == 0
+        out = capsys.readouterr().out
+        assert "nginx" in out
+        assert main(["run", "--system", "sshd", "--plugin", "omission"]) == 0
+        out = capsys.readouterr().out
+        assert "sshd" in out
+
+    def test_list_includes_new_systems_plugins_and_dialects(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "nginx" in out and "sshd" in out
+        assert "omission" in out
+        assert "nginxconf" in out and "sshdconf" in out
