@@ -50,6 +50,7 @@ def figure3_spec(
     experiments_per_directive: int = 20,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
 ) -> ExperimentSpec:
     """The Figure 3 comparison as a declarative spec.
 
@@ -71,7 +72,7 @@ def figure3_spec(
                 },
             ),
         ),
-        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor, block_size=block_size),
     )
 
 
@@ -95,6 +96,7 @@ def run_figure3_for(
     experiments_per_directive: int = 20,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
     system_key: str | None = None,
 ) -> tuple[dict[str, float], ResilienceProfile]:
@@ -118,6 +120,7 @@ def run_figure3_for(
         sut_factory=sut_factory,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )
     profile = engine.run()
     return per_directive_detection_rates(profile), profile
@@ -129,6 +132,7 @@ def run_figure3(
     systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
 ) -> Figure3Result:
     """Run the Figure 3 comparison for MySQL and Postgres.
@@ -143,6 +147,7 @@ def run_figure3(
         experiments_per_directive=experiments_per_directive,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )
     suts = systems if systems is not None else spec.build_systems()
     if store is not None:
@@ -165,6 +170,7 @@ def run_figure3(
             experiments_per_directive=experiments_per_directive,
             jobs=jobs,
             executor=executor,
+            block_size=block_size,
             store=store,
             system_key=name,
         )

@@ -57,6 +57,7 @@ def matrix_spec(
     seed: int = 2008,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     mutations_per_token: int | None = 1,
     max_scenarios_per_class: int | None = None,
     store: str | None = None,
@@ -75,6 +76,7 @@ def matrix_spec(
             seed=seed,
             jobs=jobs,
             executor=executor,
+            block_size=block_size,
             mutations_per_token=mutations_per_token,
             max_scenarios_per_class=max_scenarios_per_class,
         ),
@@ -92,6 +94,7 @@ def run_matrix(
     seed: int = 2008,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     mutations_per_token: int | None = 1,
     max_scenarios_per_class: int | None = None,
     store: ResultStore | None = None,
@@ -109,6 +112,7 @@ def run_matrix(
         seed=seed,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
         mutations_per_token=mutations_per_token,
         max_scenarios_per_class=max_scenarios_per_class,
         store=str(store.root) if store is not None else None,

@@ -41,6 +41,7 @@ def table1_spec(
     typos_per_directive: int = 10,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
 ) -> ExperimentSpec:
     """The Table 1 experiment as a declarative spec.
 
@@ -76,7 +77,7 @@ def table1_spec(
                 },
             ),
         ),
-        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor, block_size=block_size),
     )
 
 
@@ -137,6 +138,7 @@ def run_table1_for(
     typos_per_directive: int = 10,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
     system_key: str | None = None,
     plugins: Sequence | None = None,
@@ -180,6 +182,7 @@ def run_table1_for(
             sut_factory=sut_factory,
             jobs=jobs,
             executor=executor,
+            block_size=block_size,
         )
         merged.extend(engine.run().records)
     return merged
@@ -192,6 +195,7 @@ def run_table1(
     systems: dict[str, SystemUnderTest | Callable[[], SystemUnderTest]] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
 ) -> Table1Result:
     """Run the Table 1 experiment for MySQL, Postgres and Apache.
@@ -227,6 +231,7 @@ def run_table1(
             typos_per_directive=typos_per_directive,
             jobs=jobs,
             executor=executor,
+            block_size=block_size,
             store=store,
             system_key=name,
             plugins=spec.build_plugins(),

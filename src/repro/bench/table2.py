@@ -75,6 +75,7 @@ def table2_spec(
     min_truncation: int = 8,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
 ) -> ExperimentSpec:
     """The Table 2 experiment as a declarative spec.
 
@@ -100,7 +101,7 @@ def table2_spec(
             )
             for variation_class, label in VARIATION_LABELS.items()
         ),
-        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor, block_size=block_size),
     )
 
 
@@ -111,6 +112,7 @@ def run_table2(
     min_truncation: int = 8,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
 ) -> Table2Result:
     """Run the Table 2 experiment for MySQL, Postgres and Apache.
@@ -126,6 +128,7 @@ def run_table2(
         min_truncation=min_truncation,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )
     suts = systems if systems is not None else spec.build_systems()
     if store is not None:
@@ -167,6 +170,7 @@ def run_table2(
                 sut_factory=sut_factory,
                 jobs=jobs,
                 executor=executor,
+                block_size=block_size,
             )
             profile = engine.run()
             profiles[name][label] = profile

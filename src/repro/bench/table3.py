@@ -74,6 +74,7 @@ def table3_spec(
     fault_classes: Sequence[str] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
 ) -> ExperimentSpec:
     """The Table 3 experiment as a declarative spec (the DNS semantic sweep)."""
     return ExperimentSpec(
@@ -87,7 +88,7 @@ def table3_spec(
                 },
             ),
         ),
-        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor),
+        execution=ExecutionSpec(seed=seed, jobs=jobs, executor=executor, block_size=block_size),
     )
 
 
@@ -98,6 +99,7 @@ def run_table3(
     fault_classes: dict[str, str] | None = None,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     store: ResultStore | None = None,
 ) -> Table3Result:
     """Run the Table 3 experiment for BIND and djbdns.
@@ -114,6 +116,7 @@ def run_table3(
         fault_classes=list(labels),
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )
     suts = systems if systems is not None else spec.build_systems()
     if store is not None:
@@ -141,6 +144,7 @@ def run_table3(
             sut_factory=sut_factory,
             jobs=jobs,
             executor=executor,
+            block_size=block_size,
         )
         profiles[name] = engine.run()
     behaviour = _behaviour_matrix(profiles, labels)

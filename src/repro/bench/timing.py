@@ -30,6 +30,8 @@ __all__ = [
     "single_injection_callable",
     "ThroughputResult",
     "campaign_throughput",
+    "simulate_static_makespan",
+    "simulate_work_stealing_makespan",
 ]
 
 
@@ -71,11 +73,53 @@ class ThroughputResult:
     seconds: float
     jobs: int
     executor: str | None
+    block_size: int | None = None
 
     @property
     def scenarios_per_second(self) -> float:
         """Scenarios completed per wall-clock second."""
         return self.scenarios / self.seconds if self.seconds > 0 else float("inf")
+
+
+def simulate_static_makespan(costs: Sequence[float], jobs: int) -> float:
+    """Makespan of the pre-streaming static partitioning, deterministically.
+
+    The old executors gave each worker one contiguous chunk
+    (:func:`~repro.core.executor.partition_scenarios`), so the campaign's
+    wall clock was gated on the chunk with the largest *total* cost -- a
+    cluster of expensive scenarios landed on one worker while the others
+    idled.  ``costs`` is the per-scenario cost model (e.g. seconds per
+    experiment); the result is the busiest chunk's sum.
+    """
+    from repro.core.executor import partition_scenarios
+
+    chunks = partition_scenarios(list(costs), jobs)
+    return max((sum(cost for _, cost in chunk) for chunk in chunks), default=0.0)
+
+
+def simulate_work_stealing_makespan(
+    costs: Sequence[float], jobs: int, block_size: int | None = None
+) -> float:
+    """Makespan of the streaming executors' block queue, deterministically.
+
+    Replays the exact schedule the work-stealing pipeline produces -- blocks
+    cut by :func:`~repro.core.executor.make_blocks` at the executor's own
+    :func:`~repro.core.executor.resolve_block_size`, each pulled by the
+    earliest-free worker -- as a list-scheduling simulation over the cost
+    model, free of machine-load noise.
+    """
+    from repro.core.executor import make_blocks, resolve_block_size
+
+    cost_list = list(costs)
+    if not cost_list:
+        return 0.0
+    workers = max(1, min(jobs, len(cost_list)))
+    block = resolve_block_size(len(cost_list), workers, block_size)
+    busy = [0.0] * workers
+    for blk in make_blocks(list(enumerate(cost_list)), block):
+        worker = min(range(workers), key=busy.__getitem__)
+        busy[worker] += sum(cost for _, cost in blk)
+    return max(busy)
 
 
 def campaign_throughput(
@@ -84,6 +128,7 @@ def campaign_throughput(
     seed: int = 2008,
     jobs: int = 1,
     executor: str | None = None,
+    block_size: int | None = None,
     check_baseline: bool = False,
 ) -> ThroughputResult:
     """Run one campaign and measure its scenarios/second.
@@ -99,6 +144,7 @@ def campaign_throughput(
         check_baseline=check_baseline,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )
     started = time.perf_counter()
     result = campaign.run()
@@ -110,4 +156,5 @@ def campaign_throughput(
         seconds=elapsed,
         jobs=jobs,
         executor=executor,
+        block_size=block_size,
     )

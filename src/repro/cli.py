@@ -128,6 +128,16 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker strategy; default: serial for --jobs 1, threads otherwise",
     )
+    parser.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "scenarios a worker pulls from the shared work queue per pull "
+            "(default: auto); profiles are identical for any value"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -304,6 +314,7 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionSpec:
         seed=args.seed,
         jobs=args.jobs,
         executor=args.executor,
+        block_size=args.block_size,
         mutations_per_token=args.mutations_per_token,
         max_scenarios_per_class=args.max_scenarios_per_class,
         layout=args.layout,
@@ -334,11 +345,48 @@ def _spec_from_suite_args(args: argparse.Namespace) -> ExperimentSpec:
     )
 
 
+def _progress_observer(stream=None):
+    """Live per-record progress line, or None when the stream is not a TTY.
+
+    Records stream in scenario order under every executor (the engine's
+    in-order merge releases them as experiments complete), so the counter
+    advances while a ``--jobs 4`` campaign is still running -- and because
+    the suite appends to the store *before* reporting, a count on screen is
+    a count on disk.
+    """
+    stream = stream if stream is not None else sys.stderr
+    if not (hasattr(stream, "isatty") and stream.isatty()):
+        return None
+    totals: dict[tuple[str, str], int] = {}
+
+    def progress(system: str, plugin: str, record) -> None:
+        key = (system, plugin)
+        totals[key] = totals.get(key, 0) + 1
+        overall = sum(totals.values())
+        print(
+            f"\r{overall} records ({system}/{plugin}: {totals[key]}, "
+            f"last: {record.outcome.value})\x1b[K",  # clear any longer previous line
+            end="",
+            file=stream,
+            flush=True,
+        )
+
+    return progress
+
+
 def _run_spec(spec: ExperimentSpec, resume: bool) -> tuple[SuiteResult, ResultStore | None]:
     """Run an experiment spec; the one execution path for run/suite/run-spec."""
-    suite = CampaignSuite.from_spec(spec)
+    progress = _progress_observer()
+    suite = CampaignSuite.from_spec(spec, record_observer=progress)
     store = spec.build_store()
-    return suite.run(store=store, resume=resume), store
+    try:
+        result = suite.run(store=store, resume=resume)
+    finally:
+        if progress is not None:
+            print(file=sys.stderr)  # move off the \r progress line
+        if store is not None:
+            store.close()
+    return result, store
 
 
 def _print_suite_result(result: SuiteResult, store: ResultStore | None) -> None:
@@ -441,19 +489,30 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+
+def _owned_store(path: str | None):
+    """Context manager for a --store argument: a ResultStore whose cached
+    append handles are closed when the command finishes, or None."""
+    from contextlib import nullcontext
+
+    return ResultStore(path) if path else nullcontext()
+
+
 def _command_table1(args: argparse.Namespace) -> int:
     from repro.bench import run_table1, table1_from_store
 
     if args.from_store:
         result = table1_from_store(ResultStore(args.from_store))
     else:
-        result = run_table1(
-            seed=args.seed,
-            typos_per_directive=args.typos_per_directive,
-            jobs=args.jobs,
-            executor=args.executor,
-            store=ResultStore(args.store) if args.store else None,
-        )
+        with _owned_store(args.store) as store:
+            result = run_table1(
+                seed=args.seed,
+                typos_per_directive=args.typos_per_directive,
+                jobs=args.jobs,
+                executor=args.executor,
+                block_size=args.block_size,
+                store=store,
+            )
     print(result.table_text)
     return 0
 
@@ -464,13 +523,15 @@ def _command_table2(args: argparse.Namespace) -> int:
     if args.from_store:
         result = table2_from_store(ResultStore(args.from_store))
     else:
-        result = run_table2(
-            seed=args.seed,
-            variants_per_class=args.variants_per_class,
-            jobs=args.jobs,
-            executor=args.executor,
-            store=ResultStore(args.store) if args.store else None,
-        )
+        with _owned_store(args.store) as store:
+            result = run_table2(
+                seed=args.seed,
+                variants_per_class=args.variants_per_class,
+                jobs=args.jobs,
+                executor=args.executor,
+                block_size=args.block_size,
+                store=store,
+            )
     print(result.table_text)
     return 0
 
@@ -481,12 +542,14 @@ def _command_table3(args: argparse.Namespace) -> int:
     if args.from_store:
         result = table3_from_store(ResultStore(args.from_store))
     else:
-        result = run_table3(
-            seed=args.seed,
-            jobs=args.jobs,
-            executor=args.executor,
-            store=ResultStore(args.store) if args.store else None,
-        )
+        with _owned_store(args.store) as store:
+            result = run_table3(
+                seed=args.seed,
+                jobs=args.jobs,
+                executor=args.executor,
+                block_size=args.block_size,
+                store=store,
+            )
     print(result.table_text)
     return 0
 
@@ -502,17 +565,19 @@ def _command_matrix(args: argparse.Namespace) -> int:
             )
         result = matrix_from_store(ResultStore(args.from_store))
     else:
-        result = run_matrix(
-            systems=args.systems,
-            plugins=args.plugins,
-            seed=args.seed,
-            jobs=args.jobs,
-            executor=args.executor,
-            mutations_per_token=args.mutations_per_token,
-            max_scenarios_per_class=args.max_scenarios_per_class,
-            store=ResultStore(args.store) if args.store else None,
-            resume=args.resume,
-        )
+        with _owned_store(args.store) as store:
+            result = run_matrix(
+                systems=args.systems,
+                plugins=args.plugins,
+                seed=args.seed,
+                jobs=args.jobs,
+                executor=args.executor,
+                block_size=args.block_size,
+                mutations_per_token=args.mutations_per_token,
+                max_scenarios_per_class=args.max_scenarios_per_class,
+                store=store,
+                resume=args.resume,
+            )
     print(result.table_text)
     return 0
 
@@ -523,13 +588,15 @@ def _command_figure3(args: argparse.Namespace) -> int:
     if args.from_store:
         result = figure3_from_store(ResultStore(args.from_store))
     else:
-        result = run_figure3(
-            seed=args.seed,
-            experiments_per_directive=args.experiments_per_directive,
-            jobs=args.jobs,
-            executor=args.executor,
-            store=ResultStore(args.store) if args.store else None,
-        )
+        with _owned_store(args.store) as store:
+            result = run_figure3(
+                seed=args.seed,
+                experiments_per_directive=args.experiments_per_directive,
+                jobs=args.jobs,
+                executor=args.executor,
+                block_size=args.block_size,
+                store=store,
+            )
     print(result.chart_text)
     print()
     print(json.dumps(result.distributions, indent=2))

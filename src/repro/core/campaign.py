@@ -82,9 +82,11 @@ class Campaign:
     itself works); a factory is required when ``jobs > 1`` so that every
     worker can build a private instance.
 
-    ``observer`` fires once per record in scenario order.  With ``jobs == 1``
-    it fires live after each injection; with a parallel executor it fires
-    only once each plugin's merged results are in.
+    ``observer`` fires once per record in scenario order, live under every
+    executor strategy: serially after each injection, and in parallel runs
+    as soon as the in-order front of the scenario sequence completes (the
+    engine's streaming merge).  ``block_size`` tunes how many scenarios a
+    parallel worker pulls from the shared work queue at a time.
 
     Three hooks exist for suite-level orchestration (see
     :mod:`repro.core.suite`):
@@ -109,6 +111,7 @@ class Campaign:
     observer: Callable[[InjectionRecord], None] | None = field(default=None, repr=False)
     jobs: int = 1
     executor: str | None = None
+    block_size: int | None = None
     seed_for: Callable[[ErrorGeneratorPlugin, int], int] | None = field(default=None, repr=False)
     scenario_filter: Callable[[str, object], bool] | None = field(default=None, repr=False)
     plugin_observer: Callable[[str, InjectionRecord], None] | None = field(
@@ -145,6 +148,7 @@ class Campaign:
             seed=seed,
             jobs=spec.execution.jobs,
             executor=spec.execution.executor,
+            block_size=spec.execution.block_size,
             seed_for=lambda plugin, _index, key=system: derive_seed(seed, key, plugin.name),
         )
 
@@ -170,6 +174,7 @@ class Campaign:
                 sut_factory=sut_factory,
                 jobs=self.jobs,
                 executor=self.executor,
+                block_size=self.block_size,
             )
             if self.check_baseline and index == 0:
                 problems = engine.baseline_check()

@@ -54,10 +54,12 @@ class InjectionEngine:
         Seed of the scenario-generation RNG (campaigns are reproducible).
     observer:
         Optional callback invoked once per record, in scenario order,
-        regardless of the executor strategy or worker count.  Serial runs
-        observe each record live as it is produced; parallel runs observe
-        them only after the merged results arrive (end of the run), so the
-        callback is a completeness hook there, not a liveness indicator.
+        regardless of the executor strategy or worker count.  Under every
+        strategy the callback fires *live*: serial runs observe each record
+        as it is produced, and parallel runs observe each record as soon as
+        the in-order front of the scenario sequence completes (records that
+        finish out of order wait in a merge buffer until the records before
+        them arrive).
     sut_factory:
         Explicit factory; overrides the one inferred from ``sut``.  Must
         build SUTs configured identically to ``sut`` -- workers re-parse the
@@ -68,6 +70,12 @@ class InjectionEngine:
     executor:
         Executor strategy name (``"serial"``, ``"thread"``, ``"process"``);
         None picks serial for ``jobs == 1`` and threads otherwise.
+    block_size:
+        Scenarios a parallel worker pulls from the shared work queue at a
+        time (None: a heuristic based on the scenario count and worker
+        count).  Smaller blocks rebalance skewed scenario costs better;
+        larger blocks reduce queue traffic.  Profiles are identical for any
+        value.
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class InjectionEngine:
         sut_factory: Callable[[], SystemUnderTest] | None = None,
         jobs: int = 1,
         executor: str | None = None,
+        block_size: int | None = None,
     ):
         if sut_factory is not None:
             self.sut = sut if isinstance(sut, SystemUnderTest) else sut_factory()
@@ -95,6 +104,7 @@ class InjectionEngine:
         self.observer = observer
         self.jobs = jobs
         self.executor = executor
+        self.block_size = block_size
 
     # ---------------------------------------------------------------- parsing
     def parse_initial_configuration(self) -> ConfigSet:
@@ -146,6 +156,15 @@ class InjectionEngine:
         settings: same records, order and outcomes (hence byte-identical
         summaries); only per-record wall-clock durations vary.
 
+        The merge is *streaming*: parallel strategies yield each record as
+        its experiment completes, and an in-order buffer releases records to
+        the profile and the observer as soon as the front of the scenario
+        sequence is contiguous.  Observers (progress lines, result-store
+        appends) therefore fire while workers are still injecting; the
+        buffer only ever holds records that completed ahead of a
+        still-running earlier scenario (typically around ``jobs x
+        block_size`` entries).
+
         When ``scenarios`` is given (a pre-generated, possibly filtered list
         -- the resume path of campaign suites), generation is skipped
         entirely and exactly those scenarios run.  ``config_set``/``view_set``
@@ -164,7 +183,7 @@ class InjectionEngine:
 
         from repro.core.executor import SerialExecutor, resolve_executor
 
-        strategy = resolve_executor(self.executor, self.jobs)
+        strategy = resolve_executor(self.executor, self.jobs, self.block_size)
         if isinstance(strategy, SerialExecutor):
             # serial == inline: reuse this engine's SUT and already-built
             # context instead of re-parsing inside a worker
@@ -181,11 +200,25 @@ class InjectionEngine:
                 if self.observer is not None:
                     self.observer(record)
         else:
-            # parallel: records arrive merged; observe them in scenario order
-            for record in strategy.run(self.worker_spec(), scenario_list):
-                profile.add(record)
-                if self.observer is not None:
-                    self.observer(record)
+            # parallel: workers stream (index, record) pairs in completion
+            # order; release them in scenario order as the front completes so
+            # observers fire live (store appends stay durable mid-run)
+            buffer: dict[int, InjectionRecord] = {}
+            next_index = 0
+            for index, record in strategy.stream(self.worker_spec(), scenario_list):
+                buffer[index] = record
+                while next_index in buffer:
+                    ready = buffer.pop(next_index)
+                    next_index += 1
+                    profile.add(ready)
+                    if self.observer is not None:
+                        self.observer(ready)
+            if next_index != len(scenario_list):  # pragma: no cover - strategy bug
+                raise CampaignError(
+                    f"executor stream ended after {next_index} of "
+                    f"{len(scenario_list)} scenarios (no record for index "
+                    f"{next_index}; {len(buffer)} later records stranded)"
+                )
         return profile
 
     def worker_spec(self):

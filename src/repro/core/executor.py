@@ -1,14 +1,34 @@
-"""Campaign execution strategies: fan scenarios out across workers.
+"""Campaign execution strategies: stream scenarios through a worker pool.
 
 The paper's pitch is that automated injection makes resilience profiling
 cheap (Section 5.2 reports seconds per experiment, dominated by starting and
 stopping the servers).  Injection experiments are embarrassingly parallel --
 each one starts from the pristine configuration and owns its SUT lifecycle --
-so a campaign is a classic work-partitioning problem: split the scenario
-list, give every worker a private SUT built from the campaign's SUT factory,
-and merge the records back **in scenario order** so the resulting profile is
-identical whatever the worker count (same records, order and outcomes --
-only per-record wall-clock durations differ).
+but a campaign is more than a work-partitioning problem: it is a *durability*
+problem too.  A long campaign must make progress visible (and persistable) as
+it happens, not only once every worker has drained its share.
+
+Every strategy therefore implements a streaming protocol:
+
+``stream(spec, scenarios)``
+    A generator yielding ``(scenario_index, record)`` pairs **as each
+    experiment completes**, in whatever order workers finish them.  The
+    engine merges the stream back into scenario order on the fly, so
+    observers (progress lines, result-store appends) fire while the campaign
+    is still running -- under every strategy, not just the serial one.
+
+``run(spec, scenarios)``
+    Back-compatible convenience: drains :meth:`stream` and returns the
+    records sorted into scenario order.
+
+Work is handed out in small *blocks* pulled from one shared queue (work
+stealing) rather than one static contiguous chunk per worker: a chunk full
+of cheap ``DETECTED_AT_STARTUP`` scenarios no longer leaves its worker idle
+while another grinds through expensive ``IGNORED`` ones.  Each worker builds
+its injection context -- SUT instance, parsed configuration, plugin view and
+baseline serialisations -- **once per plugin run** (a persistent pool
+initializer for the process strategy), however many blocks it ends up
+pulling.
 
 Three strategies are provided:
 
@@ -25,10 +45,12 @@ Three strategies are provided:
 from __future__ import annotations
 
 import pickle
+import queue
+import threading
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.profile import InjectionRecord
 from repro.core.templates.base import FaultScenario
@@ -38,6 +60,7 @@ from repro.sut.base import SystemUnderTest
 
 __all__ = [
     "WorkerSpec",
+    "WorkerContext",
     "CampaignExecutor",
     "SerialExecutor",
     "ThreadPoolCampaignExecutor",
@@ -45,7 +68,17 @@ __all__ = [
     "available_executors",
     "resolve_executor",
     "partition_scenarios",
+    "resolve_block_size",
+    "make_blocks",
+    "DEFAULT_MAX_BLOCK",
 ]
+
+#: Largest block the auto block-size heuristic will hand a worker in one pull.
+DEFAULT_MAX_BLOCK = 16
+
+#: Target pulls per worker: enough queue round-trips that a skewed tail can
+#: still be rebalanced, few enough that queue overhead stays negligible.
+_TARGET_PULLS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -54,34 +87,36 @@ class WorkerSpec:
 
     Workers never share mutable state: each one instantiates its own SUT from
     the factory, re-parses the pristine configuration and derives its own
-    working view, then runs its chunk of scenarios serially.  No seed is
-    carried: scenario generation (the only randomised stage) happens solely
-    in the coordinator, before fan-out.
+    working view, then pulls blocks of scenarios from the shared queue.  No
+    seed is carried: scenario generation (the only randomised stage) happens
+    solely in the coordinator, before fan-out.
     """
 
     sut_factory: Callable[[], SystemUnderTest]
     plugin: ErrorGeneratorPlugin
 
 
-def run_scenario_chunk(
-    spec: WorkerSpec, chunk: Sequence[tuple[int, FaultScenario]]
-) -> list[tuple[int, InjectionRecord]]:
-    """Stateless unit of work: run ``chunk`` against a private SUT.
+class WorkerContext:
+    """Per-worker injection context, built once per (worker, plugin run).
 
-    Module-level (hence picklable) so it can cross a process boundary.
-    Returns ``(scenario_index, record)`` pairs; the caller merges them back
-    into scenario order.
+    Bundles the private SUT, the parsed pristine configuration, the plugin
+    view and the baseline serialisation cache so that a worker pays the
+    setup cost once however many blocks it pulls from the queue.
     """
-    from repro.core.engine import InjectionEngine
 
-    engine = InjectionEngine(spec.sut_factory(), spec.plugin)
-    config_set = engine.parse_initial_configuration()
-    view_set = spec.plugin.view.transform(config_set)
-    baseline = engine.baseline_files(config_set, view_set)
-    return [
-        (index, engine.run_scenario(scenario, config_set, view_set, baseline_files=baseline))
-        for index, scenario in chunk
-    ]
+    def __init__(self, spec: WorkerSpec):
+        from repro.core.engine import InjectionEngine
+
+        self.engine = InjectionEngine(spec.sut_factory(), spec.plugin)
+        self.config_set = self.engine.parse_initial_configuration()
+        self.view_set = spec.plugin.view.transform(self.config_set)
+        self.baseline = self.engine.baseline_files(self.config_set, self.view_set)
+
+    def run(self, scenario: FaultScenario) -> InjectionRecord:
+        """Run one injection experiment against this worker's private SUT."""
+        return self.engine.run_scenario(
+            scenario, self.config_set, self.view_set, baseline_files=self.baseline
+        )
 
 
 def partition_scenarios(
@@ -93,6 +128,10 @@ def partition_scenarios(
     worker gets work whenever there are at least ``jobs`` scenarios; a naive
     ceil-sized split can leave workers idle (6 scenarios over 4 jobs would
     make 3 chunks of 2 instead of 2+2+1+1).
+
+    This is the *static* partitioning the pre-streaming executors used; it is
+    kept as the reference the work-stealing benchmarks compare against (a
+    static chunk gates the campaign on its most expensive member).
     """
     indexed = list(enumerate(scenarios))
     if not indexed:
@@ -101,6 +140,35 @@ def partition_scenarios(
     total = len(indexed)
     bounds = [total * i // jobs for i in range(jobs + 1)]
     return [indexed[bounds[i]:bounds[i + 1]] for i in range(jobs)]
+
+
+def resolve_block_size(total: int, jobs: int, block_size: int | None = None) -> int:
+    """Scenarios handed to a worker per queue pull.
+
+    An explicit ``block_size`` wins (must be positive).  The default aims for
+    ~``_TARGET_PULLS_PER_WORKER`` pulls per worker, capped at
+    :data:`DEFAULT_MAX_BLOCK`: small enough that one expensive region of the
+    scenario sequence spreads across workers, large enough that queue traffic
+    stays negligible next to an injection experiment.
+    """
+    if block_size is not None:
+        if block_size < 1:
+            raise CampaignError(f"block_size must be a positive integer, got {block_size}")
+        return block_size
+    if total <= 0:
+        return 1
+    return max(1, min(DEFAULT_MAX_BLOCK, total // (max(1, jobs) * _TARGET_PULLS_PER_WORKER)))
+
+
+def make_blocks(indexed: Sequence, block_size: int) -> list[list]:
+    """Cut a sequence into contiguous blocks of ``block_size``.
+
+    The one block-cutting rule of the work-stealing pipeline: the thread
+    strategy feeds it ``(index, scenario)`` pairs, the process strategy bare
+    indices, and the benchmark schedule simulations ``(index, cost)`` pairs
+    -- so all three always agree on block boundaries.
+    """
+    return [list(indexed[i:i + block_size]) for i in range(0, len(indexed), block_size)]
 
 
 def _merge_in_order(
@@ -112,23 +180,46 @@ def _merge_in_order(
     return [record for _, record in flat]
 
 
+def _serial_stream(
+    spec: WorkerSpec, indexed: Sequence[tuple[int, FaultScenario]]
+) -> Iterator[tuple[int, InjectionRecord]]:
+    """Single-worker reference stream: one context, records in scenario order."""
+    context = WorkerContext(spec)
+    for index, scenario in indexed:
+        yield index, context.run(scenario)
+
+
 class CampaignExecutor(ABC):
-    """Strategy interface: run scenarios for a worker spec, in scenario order."""
+    """Strategy interface: stream scenario records as experiments complete."""
 
     #: Registry name of the strategy.
     name: str = "executor"
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, block_size: int | None = None):
         if jobs < 1:
             raise CampaignError(f"executor needs at least one worker, got jobs={jobs}")
+        if block_size is not None and block_size < 1:
+            raise CampaignError(f"block_size must be a positive integer, got {block_size}")
         self.jobs = jobs
+        self.block_size = block_size
 
     @abstractmethod
+    def stream(
+        self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        """Yield ``(scenario_index, record)`` as each experiment completes.
+
+        Pairs arrive in completion order, not scenario order; every index in
+        ``range(len(scenarios))`` is yielded exactly once.  A worker failure
+        raises from the generator after in-flight work has settled.
+        """
+
     def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
         """Execute every scenario and return records in scenario order."""
+        return _merge_in_order([list(self.stream(spec, scenarios))])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(jobs={self.jobs})"
+        return f"{type(self).__name__}(jobs={self.jobs}, block_size={self.block_size})"
 
 
 class SerialExecutor(CampaignExecutor):
@@ -136,48 +227,187 @@ class SerialExecutor(CampaignExecutor):
 
     name = "serial"
 
-    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
-        return _merge_in_order([run_scenario_chunk(spec, list(enumerate(scenarios)))])
+    def stream(
+        self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        return _serial_stream(spec, list(enumerate(scenarios)))
+
+
+class _WorkerFailure:
+    """Envelope carrying a worker-side exception to the consuming thread."""
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception: BaseException):
+        self.exception = exception
+
+
+#: Queue sentinel: one per worker thread, announcing that it has drained.
+_WORKER_DONE = object()
 
 
 class ThreadPoolCampaignExecutor(CampaignExecutor):
-    """One thread per chunk, each with a private SUT instance."""
+    """Long-lived worker threads pulling scenario blocks from a shared queue.
+
+    Each thread builds one :class:`WorkerContext` (private SUT, parse, view,
+    baseline) and then loops: pull the next block, run its scenarios, push
+    each ``(index, record)`` onto the result queue the moment it exists.
+    The shared block queue is what makes the schedule work-stealing: a
+    worker that lands on cheap scenarios simply pulls again.
+    """
 
     name = "thread"
 
-    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
-        chunks = partition_scenarios(scenarios, self.jobs)
-        if len(chunks) <= 1:
-            return _merge_in_order([run_scenario_chunk(spec, chunk) for chunk in chunks])
-        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [pool.submit(run_scenario_chunk, spec, chunk) for chunk in chunks]
-            return _merge_in_order([future.result() for future in futures])
+    def stream(
+        self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        indexed = list(enumerate(scenarios))
+        if not indexed:
+            return
+        workers = min(self.jobs, len(indexed))
+        if workers <= 1:
+            yield from _serial_stream(spec, indexed)
+            return
+
+        block_size = resolve_block_size(len(indexed), workers, self.block_size)
+        block_list = make_blocks(indexed, block_size)
+        # a worker's unit of work is one block pull: never start more workers
+        # than blocks, or the surplus pay the full per-worker context setup
+        # only to find the queue already drained
+        workers = min(workers, len(block_list))
+        blocks: queue.SimpleQueue = queue.SimpleQueue()
+        for block in block_list:
+            blocks.put(block)
+        results: queue.SimpleQueue = queue.SimpleQueue()
+        stop = threading.Event()
+
+        def work() -> None:
+            try:
+                context = WorkerContext(spec)
+                while not stop.is_set():
+                    try:
+                        block = blocks.get_nowait()
+                    except queue.Empty:
+                        break
+                    for index, scenario in block:
+                        if stop.is_set():
+                            return
+                        results.put((index, context.run(scenario)))
+            except BaseException as exc:  # noqa: BLE001 - must cross the thread
+                results.put(_WorkerFailure(exc))
+            finally:
+                results.put(_WORKER_DONE)
+
+        threads = [
+            threading.Thread(target=work, name=f"conferr-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        failure: _WorkerFailure | None = None
+        try:
+            for thread in threads:
+                thread.start()
+            done = 0
+            while done < len(threads):
+                item = results.get()
+                if item is _WORKER_DONE:
+                    done += 1
+                elif isinstance(item, _WorkerFailure):
+                    if failure is None:
+                        failure = item
+                    stop.set()
+                elif failure is None:
+                    yield item
+            if failure is not None:
+                raise failure.exception
+        finally:
+            # Consumer gone (exhausted, failed, or abandoned mid-stream):
+            # workers finish their current experiment and exit.
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+# ----------------------------------------------------------- process workers
+#: Per-process worker state, installed once by the pool initializer so that
+#: every block task reuses the same SUT/parse/view/baseline context.
+_PROCESS_CONTEXT: WorkerContext | None = None
+_PROCESS_SCENARIOS: tuple[FaultScenario, ...] = ()
+_PROCESS_INIT_ERROR: str | None = None
+
+
+def _initialize_process_worker(spec: WorkerSpec, scenarios: tuple[FaultScenario, ...]) -> None:
+    """Pool initializer: build this process's injection context exactly once."""
+    global _PROCESS_CONTEXT, _PROCESS_SCENARIOS, _PROCESS_INIT_ERROR
+    try:
+        _PROCESS_CONTEXT = WorkerContext(spec)
+        _PROCESS_SCENARIOS = tuple(scenarios)
+        _PROCESS_INIT_ERROR = None
+    except BaseException as exc:  # noqa: BLE001 - a raising initializer breaks
+        # the whole pool with an opaque BrokenProcessPool; stash the cause and
+        # report it from the first block task instead, with a real message
+        _PROCESS_CONTEXT = None
+        _PROCESS_INIT_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+def _run_scenario_block(indices: Sequence[int]) -> list[tuple[int, InjectionRecord]]:
+    """Block task: run the given scenario indices in this worker's context."""
+    if _PROCESS_CONTEXT is None:
+        raise CampaignError(
+            "process worker failed to build its injection context: "
+            + (_PROCESS_INIT_ERROR or "initializer did not run")
+        )
+    return [(index, _PROCESS_CONTEXT.run(_PROCESS_SCENARIOS[index])) for index in indices]
 
 
 class ProcessPoolCampaignExecutor(CampaignExecutor):
-    """One OS process per chunk; spec and scenarios must be picklable."""
+    """OS processes pulling scenario blocks from the pool's shared call queue.
+
+    The pool initializer ships ``(spec, scenarios)`` once per worker process
+    and builds the injection context there; block tasks then carry only
+    scenario *indices*, so per-block pickling cost is a few integers.  Block
+    results stream back as their futures complete.
+    """
 
     name = "process"
 
-    def run(self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]) -> list[InjectionRecord]:
-        chunks = partition_scenarios(scenarios, self.jobs)
-        if len(chunks) <= 1:
-            return _merge_in_order([run_scenario_chunk(spec, chunk) for chunk in chunks])
+    def stream(
+        self, spec: WorkerSpec, scenarios: Sequence[FaultScenario]
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        scenario_list = list(scenarios)
+        if not scenario_list:
+            return
+        workers = min(self.jobs, len(scenario_list))
+        if workers <= 1:
+            yield from _serial_stream(spec, list(enumerate(scenario_list)))
+            return
         # Pre-flight the pickle round-trip so an unshippable campaign fails
         # with a pointed message; inside the pool a pickling error would be
         # indistinguishable from a genuine worker-side bug, which must keep
         # its own traceback.
         try:
-            pickle.dumps((spec, chunks))
+            pickle.dumps((spec, scenario_list))
         except Exception as exc:
             raise CampaignError(
                 "process executor could not ship the campaign to workers "
                 "(SUT factory, plugin and scenarios must be picklable; "
                 "closures such as token filters are not): " + str(exc)
             ) from exc
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [pool.submit(run_scenario_chunk, spec, chunk) for chunk in chunks]
-            return _merge_in_order([future.result() for future in futures])
+
+        block_size = resolve_block_size(len(scenario_list), workers, self.block_size)
+        index_blocks = make_blocks(range(len(scenario_list)), block_size)
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(index_blocks)),
+            initializer=_initialize_process_worker,
+            initargs=(spec, tuple(scenario_list)),
+        )
+        try:
+            futures = [pool.submit(_run_scenario_block, block) for block in index_blocks]
+            for future in as_completed(futures):
+                yield from future.result()
+        finally:
+            # Abandoned mid-stream (consumer failure/kill): drop the queued
+            # blocks, wait only for the ones already running.
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 _EXECUTORS: dict[str, type[CampaignExecutor]] = {
@@ -191,8 +421,10 @@ def available_executors() -> list[str]:
     return sorted(_EXECUTORS)
 
 
-def resolve_executor(kind: str | None, jobs: int) -> CampaignExecutor | None:
-    """Pick a strategy for (kind, jobs).
+def resolve_executor(
+    kind: str | None, jobs: int, block_size: int | None = None
+) -> CampaignExecutor | None:
+    """Pick a strategy for (kind, jobs, block_size).
 
     Returns None for the plain in-engine serial path (``jobs <= 1`` with no
     explicit strategy), which keeps single-worker campaigns free of factory
@@ -208,4 +440,4 @@ def resolve_executor(kind: str | None, jobs: int) -> CampaignExecutor | None:
         raise CampaignError(
             f"unknown executor {kind!r}; available: {available_executors()}"
         ) from None
-    return executor_class(jobs=jobs)
+    return executor_class(jobs=jobs, block_size=block_size)

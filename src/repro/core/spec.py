@@ -216,13 +216,14 @@ class ExecutionSpec:
     seed: int = 2008
     jobs: int = 1
     executor: str | None = None
+    block_size: int | None = None
     mutations_per_token: int | None = None
     max_scenarios_per_class: int | None = None
     layout: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"seed": self.seed, "jobs": self.jobs}
-        for key in ("executor", "mutations_per_token", "max_scenarios_per_class", "layout"):
+        for key in ("executor", "block_size", "mutations_per_token", "max_scenarios_per_class", "layout"):
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -231,7 +232,15 @@ class ExecutionSpec:
     @classmethod
     def from_dict(cls, data: Any, path: str = "execution") -> "ExecutionSpec":
         data = _require_mapping(data, path)
-        known = ("seed", "jobs", "executor", "mutations_per_token", "max_scenarios_per_class", "layout")
+        known = (
+            "seed",
+            "jobs",
+            "executor",
+            "block_size",
+            "mutations_per_token",
+            "max_scenarios_per_class",
+            "layout",
+        )
         _reject_unknown_keys(data, known, path)
         kwargs: dict[str, Any] = {}
         if "seed" in data:
@@ -241,7 +250,7 @@ class ExecutionSpec:
         for key in ("executor", "layout"):
             if data.get(key) is not None:
                 kwargs[key] = _require_str(data[key], f"{path}.{key}")
-        for key in ("mutations_per_token", "max_scenarios_per_class"):
+        for key in ("block_size", "mutations_per_token", "max_scenarios_per_class"):
             if data.get(key) is not None:
                 kwargs[key] = _require_int(data[key], f"{path}.{key}")
         return cls(**kwargs)
@@ -254,7 +263,7 @@ class ExecutionSpec:
                 f"{path}.executor: unknown executor {self.executor!r}; "
                 f"available: {', '.join(EXECUTOR_CHOICES)}"
             )
-        for key in ("mutations_per_token", "max_scenarios_per_class"):
+        for key in ("block_size", "mutations_per_token", "max_scenarios_per_class"):
             value = getattr(self, key)
             if value is not None and value < 1:
                 raise SpecError(f"{path}.{key}: must be a positive integer, got {value}")
@@ -530,8 +539,11 @@ class ExperimentSpec:
 # ------------------------------------------------------------------ spec diffing
 #: Paths never compared when deciding whether a resume continues the same
 #: experiment: the store location is implied by the directory being resumed,
-#: and profiles are executor-invariant, so worker settings may differ freely.
-RESUME_IRRELEVANT_PATHS = frozenset({"store", "execution.jobs", "execution.executor"})
+#: and profiles are executor-invariant, so worker settings (including the
+#: work-stealing block size) may differ freely.
+RESUME_IRRELEVANT_PATHS = frozenset(
+    {"store", "execution.jobs", "execution.executor", "execution.block_size"}
+)
 
 
 def diff_spec_dicts(

@@ -9,13 +9,28 @@ A :class:`ResultStore` is a directory holding
   (same seed and plugin configuration) before skipping work.
 * ``<system>.jsonl`` -- one append-only JSON-Lines file per system.  Each
   line is ``{"campaign": <name>, "record": <InjectionRecord.to_dict()>}``;
-  records are appended (and flushed) as they land, so an interrupted run
-  loses at most the experiment in flight.
+  records are appended (and flushed) as they land.
+* ``systems.json`` -- the system-key -> file-name index, written before the
+  first record of each system.  ``filename_for`` sanitisation is lossy
+  (``mysql/full`` becomes ``mysql_full.jsonl``), so without the index a
+  store whose manifest is missing could not map its files back to keys.
+
+Durability guarantee, precisely: the engine releases records to the store
+in scenario order as the in-order front of the sequence completes, under
+*every* executor strategy.  A killed run therefore leaves the contiguous
+prefix of already-released records on disk and loses only the in-flight
+tail -- the experiments still running plus any that finished out of order
+ahead of a still-running earlier scenario (on the order of ``jobs x
+block_size`` records, exactly one for a serial run).  Resuming replays
+only the scenarios whose records are missing.
 
 The append-only layout is deliberate: injection campaigns are long, every
 record is immutable once classified, and a crashed or killed run must leave
 a readable prefix behind.  Trailing partial lines (the one write a crash can
-tear) are ignored on load.
+tear) are ignored on load.  One append-mode handle is cached per system (a
+record write is a single buffered write + flush, not an open/close); call
+:meth:`close` -- or use the store as a context manager -- to release the
+handles deterministically.
 """
 
 from __future__ import annotations
@@ -34,6 +49,7 @@ __all__ = ["ResultStore", "MANIFEST_VERSION", "filename_for"]
 MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
+_SYSTEMS_INDEX_NAME = "systems.json"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 
@@ -53,8 +69,26 @@ class ResultStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self._manifest_cache: dict[str, Any] | None = None
-        #: Systems whose JSONL file has been checked for a torn tail already.
-        self._repaired: set[str] = set()
+        #: One cached append-mode handle per system; opening implies the
+        #: file's torn tail (if any) has been repaired.
+        self._handles: dict[str, Any] = {}
+        #: Cached system-key -> file-name index (``systems.json``).
+        self._systems_index: dict[str, str] | None = None
+
+    def close(self) -> None:
+        """Close every cached append handle (appending later reopens them)."""
+        handles, self._handles = self._handles, {}
+        for handle in handles.values():
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - close() on flushed appends
+                pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- manifest
     @property
@@ -170,21 +204,29 @@ class ResultStore:
         return self.root / filename_for(system)
 
     def append(self, system: str, campaign: str, record: InjectionRecord) -> None:
-        """Append one record; flushed immediately so interrupts lose at most one."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(system)
-        if system not in self._repaired:
+        """Append one record; flushed immediately so interrupts lose at most one.
+
+        The append-mode handle is opened once per system and cached (a
+        campaign appends thousands of records; open/close per record costs
+        more than the write).  First open also repairs a torn tail and
+        registers the system key in ``systems.json``.
+        """
+        handle = self._handles.get(system)
+        if handle is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(system)
             # A prior crash may have torn the final line mid-write; appending
             # straight after it would weld this record onto the garbage and
             # turn it into an unreadable *interior* line.  Drop the torn tail
             # instead: its record was never counted as completed (iter_records
             # skips it), so the scenario simply runs again and re-appends.
             self._truncate_torn_tail(path)
-            self._repaired.add(system)
+            self._register_system(system)
+            handle = open(path, "ab")
+            self._handles[system] = handle
         line = json.dumps({"campaign": campaign, "record": record.to_dict()})
-        with open(path, "ab") as handle:
-            handle.write(line.encode("utf-8") + b"\n")
-            handle.flush()
+        handle.write(line.encode("utf-8") + b"\n")
+        handle.flush()
 
     @staticmethod
     def _truncate_torn_tail(path: Path) -> None:
@@ -214,40 +256,97 @@ class ResultStore:
     def iter_records(self, system: str) -> Iterator[tuple[str, InjectionRecord]]:
         """Yield ``(campaign, record)`` pairs for one system, in append order.
 
-        A torn trailing line (crash mid-write) is skipped silently; a corrupt
-        line elsewhere raises :class:`StoreError` since silently dropping
-        interior records would fake completed work on resume.
+        The file is streamed line by line (a long campaign's JSONL can dwarf
+        memory; loading a store must not slurp it whole).  A torn trailing
+        line (crash mid-write) is skipped silently; a corrupt line elsewhere
+        raises :class:`StoreError` since silently dropping interior records
+        would fake completed work on resume -- whether a corrupt line is the
+        tail is only known once the next line (any line, even a blank one)
+        proves it interior, so the error is raised one line late.
         """
         path = self.path_for(system)
         if not path.is_file():
             return
+        pending: tuple[int, Exception] | None = None  # corrupt line awaiting a tail verdict
         with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-                record = InjectionRecord.from_dict(entry["record"])
-            except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                if number == len(lines):
-                    break  # torn final write from an interrupted run
-                raise StoreError(f"corrupt record at {path}:{number}: {exc}") from exc
-            yield str(entry.get("campaign", "")), record
+            for number, raw in enumerate(handle, start=1):
+                if pending is not None:
+                    corrupt_number, exc = pending
+                    raise StoreError(
+                        f"corrupt record at {path}:{corrupt_number}: {exc}"
+                    ) from exc
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    record = InjectionRecord.from_dict(entry["record"])
+                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                    pending = (number, exc)  # torn final write, unless more follows
+                    continue
+                yield str(entry.get("campaign", "")), record
 
     def completed_ids(self, system: str) -> set[tuple[str, str]]:
         """``(campaign, scenario_id)`` pairs already on disk for one system."""
         return {(campaign, record.scenario_id) for campaign, record in self.iter_records(system)}
 
+    # ------------------------------------------------------------- systems index
+    def _load_systems_index(self) -> dict[str, str]:
+        """The ``systems.json`` key -> file-name index (cached; {} when absent).
+
+        A corrupt index (crash mid-rewrite) degrades to {} rather than
+        raising: the index is recovery metadata, and the next append rewrites
+        it whole.
+        """
+        if self._systems_index is None:
+            try:
+                raw = json.loads((self.root / _SYSTEMS_INDEX_NAME).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                raw = {}
+            self._systems_index = {
+                key: value
+                for key, value in (raw.items() if isinstance(raw, dict) else ())
+                if isinstance(key, str) and isinstance(value, str)
+            }
+        return self._systems_index
+
+    def _register_system(self, system: str) -> None:
+        """Record ``system``'s key -> file-name mapping before its first append.
+
+        ``filename_for`` sanitisation is lossy (``mysql/full`` and
+        ``mysql_full`` share a file name), so the original key must be
+        stored where :meth:`systems` can recover it even without a manifest.
+        """
+        index = self._load_systems_index()
+        filename = filename_for(system)
+        if index.get(system) == filename:
+            return
+        index[system] = filename
+        path = self.root / _SYSTEMS_INDEX_NAME
+        path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
     # ------------------------------------------------------------------ loading
     def systems(self) -> list[str]:
-        """System keys, in manifest order (falling back to on-disk files)."""
+        """System keys, in manifest order (falling back to the on-disk index).
+
+        Without a manifest the keys come from ``systems.json`` -- the inverse
+        of :func:`filename_for`'s lossy sanitisation -- plus, sorted after
+        them, the bare stems of any ``*.jsonl`` files the index does not
+        cover (stores written before the index existed).
+        """
         if self.exists():
             manifest = self.read_manifest()
             recorded = manifest.get("systems")
             if isinstance(recorded, Mapping):
                 return list(recorded)
-        return sorted(path.stem for path in self.root.glob("*.jsonl"))
+        index = self._load_systems_index()
+        indexed_files = set(index.values())
+        legacy = sorted(
+            path.stem
+            for path in self.root.glob("*.jsonl")
+            if path.name not in indexed_files
+        )
+        return sorted(index) + legacy
 
     def system_display_name(self, system: str) -> str:
         """Human-readable name for a system key (from the manifest)."""

@@ -5,7 +5,11 @@ systems with several error classes.  A :class:`CampaignSuite` fans M systems
 x N plugins into per-system campaigns driven through the parallel executor,
 derives a stable seed for every (system, plugin) cell from one suite seed,
 and -- when given a :class:`~repro.core.store.ResultStore` -- appends every
-record to disk as it lands so an interrupted suite can be resumed.
+record to disk as it lands so an interrupted suite can be resumed.  Appends
+are live under every executor strategy: the engine's streaming merge
+releases records in scenario order while workers are still injecting, so a
+``--jobs 4`` run killed mid-campaign still leaves everything but the
+in-flight tail on disk.
 
 Resumption is scenario-exact: the suite regenerates each cell's scenarios
 from the derived seed (generation is deterministic), skips the scenario ids
@@ -127,12 +131,19 @@ class CampaignSuite:
     layout:
         Keyboard-layout name recorded in the manifest (informational; the
         spelling plugin itself carries the layout used for generation).
-    jobs / executor:
+    jobs / executor / block_size:
         Worker fan-out per campaign, as in :class:`~repro.core.campaign.Campaign`.
     spec:
         Optional :class:`~repro.core.spec.ExperimentSpec` this suite was
         built from; when present it is embedded in the store manifest so
         resume compatibility is a structured spec diff.
+    record_observer:
+        Optional ``(system_key, plugin_name, record)`` callback fired once
+        per record, live, in scenario order -- under every executor
+        strategy (the engine's streaming merge releases records as the
+        front of the scenario sequence completes).  Fires after the store
+        append, so a progress line never reports a record that could still
+        be lost.
     """
 
     def __init__(
@@ -144,8 +155,10 @@ class CampaignSuite:
         layout: str | None = None,
         jobs: int = 1,
         executor: str | None = None,
+        block_size: int | None = None,
         check_baseline: bool = True,
         spec: ExperimentSpec | None = None,
+        record_observer: Callable[[str, str, InjectionRecord], None] | None = None,
     ):
         if not systems:
             raise CampaignError("a suite needs at least one system")
@@ -163,11 +176,17 @@ class CampaignSuite:
         self.layout = layout
         self.jobs = jobs
         self.executor = executor
+        self.block_size = block_size
         self.check_baseline = check_baseline
         self.spec = spec
+        self.record_observer = record_observer
 
     @classmethod
-    def from_spec(cls, spec: ExperimentSpec) -> "CampaignSuite":
+    def from_spec(
+        cls,
+        spec: ExperimentSpec,
+        record_observer: Callable[[str, str, InjectionRecord], None] | None = None,
+    ) -> "CampaignSuite":
         """Build the suite a declarative :class:`ExperimentSpec` describes.
 
         The spec is validated first, so a suite built here is guaranteed to
@@ -181,7 +200,9 @@ class CampaignSuite:
             layout=spec.execution.layout,
             jobs=spec.execution.jobs,
             executor=spec.execution.executor,
+            block_size=spec.execution.block_size,
             spec=spec,
+            record_observer=record_observer,
         )
 
     # ----------------------------------------------------------------- manifest
@@ -214,11 +235,19 @@ class CampaignSuite:
                 for plugin in self.plugins
             ],
             "layout": self.layout,
-            "executor": {"jobs": self.jobs, "executor": self.executor},
+            "executor": self._executor_manifest(),
         }
         if self.spec is not None:
             manifest["spec"] = self.spec.to_dict()
         return manifest
+
+    def _executor_manifest(self) -> dict[str, Any]:
+        """Worker settings recorded in the manifest (informational only:
+        profiles are executor-invariant, so resume never compares them)."""
+        executor: dict[str, Any] = {"jobs": self.jobs, "executor": self.executor}
+        if self.block_size is not None:
+            executor["block_size"] = self.block_size
+        return executor
 
     def campaign_seed(self, system: str, plugin_name: str) -> int:
         """Seed of one (system, plugin) campaign."""
@@ -264,6 +293,7 @@ class CampaignSuite:
                 check_baseline=self.check_baseline,
                 jobs=self.jobs,
                 executor=self.executor,
+                block_size=self.block_size,
                 seed_for=lambda plugin, _index, key=system_key: self.campaign_seed(
                     key, plugin.name
                 ),
@@ -272,11 +302,7 @@ class CampaignSuite:
                     if completed
                     else None
                 ),
-                plugin_observer=(
-                    (lambda name, record, key=system_key: store.append(key, name, record))
-                    if store is not None
-                    else None
-                ),
+                plugin_observer=self._cell_observer(system_key, store),
             )
             campaign_result = campaign.run()
 
@@ -290,3 +316,22 @@ class CampaignSuite:
             result.executed[system_key] = dict(campaign_result.executed)
             result.skipped[system_key] = dict(campaign_result.skipped)
         return result
+
+    def _cell_observer(
+        self, system_key: str, store: ResultStore | None
+    ) -> Callable[[str, InjectionRecord], None] | None:
+        """Per-record callback for one system's campaign: persist, then report.
+
+        The store append runs first so that by the time a progress observer
+        announces a record it is already durable on disk.
+        """
+        if store is None and self.record_observer is None:
+            return None
+
+        def observe(plugin_name: str, record: InjectionRecord) -> None:
+            if store is not None:
+                store.append(system_key, plugin_name, record)
+            if self.record_observer is not None:
+                self.record_observer(system_key, plugin_name, record)
+
+        return observe

@@ -36,6 +36,14 @@ class LatencySUT(SystemUnderTest):
     start_latency / stop_latency / test_latency:
         Seconds slept before delegating ``start`` / ``stop`` / each
         functional test, modelling server boot, shutdown and probe time.
+
+    Every modelled sleep is also accumulated in :attr:`modeled_seconds`.
+    Wall-clock measurements are hostage to machine load, but the *model* is
+    not: under a parallel campaign each worker owns one instance, so the
+    sum of ``modeled_seconds`` over instances is the serial cost, the
+    maximum is the busiest worker's share, and their ratio is a
+    load-independent speedup bound -- what the throughput benchmarks assert
+    instead of a flaky wall-clock ratio.
     """
 
     def __init__(
@@ -49,6 +57,8 @@ class LatencySUT(SystemUnderTest):
         self.start_latency = start_latency
         self.stop_latency = stop_latency
         self.test_latency = test_latency
+        #: Total seconds of modelled latency this instance has slept.
+        self.modeled_seconds = 0.0
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -63,11 +73,13 @@ class LatencySUT(SystemUnderTest):
     def start(self, files: Mapping[str, str]) -> StartResult:
         if self.start_latency:
             time.sleep(self.start_latency)
+            self.modeled_seconds += self.start_latency
         return self.inner.start(files)
 
     def stop(self) -> None:
         if self.stop_latency:
             time.sleep(self.stop_latency)
+            self.modeled_seconds += self.stop_latency
         self.inner.stop()
 
     def functional_tests(self) -> list[FunctionalTest]:
@@ -98,5 +110,7 @@ class _DelayedTest(FunctionalTest):
 
     def run(self, sut: SystemUnderTest):
         time.sleep(self.latency)
-        target = sut.inner if isinstance(sut, LatencySUT) else sut
-        return self.inner.run(target)
+        if isinstance(sut, LatencySUT):
+            sut.modeled_seconds += self.latency
+            sut = sut.inner
+        return self.inner.run(sut)

@@ -212,6 +212,17 @@ class TestValidation:
             spec_for("mysql", "spelling", layout="colemak").validate()
         with pytest.raises(SpecError, match=r"execution.mutations_per_token"):
             spec_for("mysql", "spelling", mutations_per_token=0).validate()
+        with pytest.raises(SpecError, match=r"execution.block_size"):
+            spec_for("mysql", "spelling", block_size=0).validate()
+
+    def test_block_size_round_trips_and_validates(self):
+        spec = spec_for("mysql", "spelling", jobs=4, executor="thread", block_size=3)
+        spec.validate()
+        data = spec.to_dict()
+        assert data["execution"]["block_size"] == 3
+        assert ExperimentSpec.from_dict(data) == spec
+        # absent when unset, so pre-existing specs serialize unchanged
+        assert "block_size" not in spec_for("mysql", "spelling").to_dict()["execution"]
 
     def test_unknown_keys_rejected_at_every_level(self):
         with pytest.raises(SpecError, match="unknown key"):
@@ -302,7 +313,9 @@ class TestSpecDiffing:
         assert diffs == ["execution.seed: 3 on disk but 4 now"]
 
     def test_worker_settings_and_store_are_ignored(self):
-        changed = spec_for("postgres", "spelling", seed=3, jobs=8, executor="thread")
+        changed = spec_for(
+            "postgres", "spelling", seed=3, jobs=8, executor="thread", block_size=2
+        )
         changed = ExperimentSpec(
             systems=changed.systems,
             plugins=changed.plugins,

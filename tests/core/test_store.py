@@ -151,6 +151,121 @@ class TestRecords:
         assert store.path_for("my/sql server").is_file()
 
 
+class TestAppendHandleCache:
+    def test_append_reuses_one_handle_per_system(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        handle = store._handles["pg"]
+        store.append("pg", "c", record("b"))
+        assert store._handles["pg"] is handle  # no reopen per record
+        store.append("mysql", "c", record("c"))
+        assert set(store._handles) == {"pg", "mysql"}
+
+    def test_close_releases_handles_and_append_reopens(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        store.close()
+        assert store._handles == {}
+        store.append("pg", "c", record("b"))  # reopens transparently
+        store.close()
+        assert [r.scenario_id for _, r in store.iter_records("pg")] == ["a", "b"]
+
+    def test_close_without_appends_is_a_no_op(self, tmp_path):
+        ResultStore(tmp_path).close()
+
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.append("pg", "c", record("a"))
+            assert store._handles
+        assert store._handles == {}
+        assert [r.scenario_id for _, r in store.iter_records("pg")] == ["a"]
+
+    def test_records_are_readable_while_the_handle_is_open(self, tmp_path):
+        # the durability contract: a reader (or a resumed run) must see every
+        # flushed record even though the writer still holds its handle
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        store.append("pg", "c", record("b"))
+        reader = ResultStore(tmp_path)
+        assert [r.scenario_id for _, r in reader.iter_records("pg")] == ["a", "b"]
+
+
+class TestSystemsIndex:
+    def test_sanitised_key_round_trips_without_manifest(self, tmp_path):
+        # regression: path.stem does not invert filename_for sanitisation, so
+        # "mysql/full" used to come back as "mysql_full" -- a key whose
+        # iter_records() reads nothing
+        store = ResultStore(tmp_path)
+        store.append("mysql/full", "spelling", record("a"))
+        fresh = ResultStore(tmp_path)
+        assert fresh.systems() == ["mysql/full"]
+        assert [r.scenario_id for _, r in fresh.iter_records(fresh.systems()[0])] == ["a"]
+
+    def test_load_profiles_recovers_sanitised_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("my sql", "spelling", record("a"))
+        profiles = ResultStore(tmp_path).load_profiles()
+        assert set(profiles) == {"my sql"}
+        assert len(profiles["my sql"]["spelling"]) == 1
+
+    def test_index_files_are_not_listed_as_systems(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        assert (tmp_path / "systems.json").is_file()
+        assert ResultStore(tmp_path).systems() == ["pg"]
+
+    def test_legacy_store_without_index_falls_back_to_stems(self, tmp_path):
+        # stores written before systems.json existed must still load
+        store = ResultStore(tmp_path)
+        store.append("alpha", "c", record("a"))
+        (tmp_path / "systems.json").unlink()
+        assert ResultStore(tmp_path).systems() == ["alpha"]
+
+    def test_corrupt_index_degrades_to_stems(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("alpha", "c", record("a"))
+        (tmp_path / "systems.json").write_text("{torn", encoding="utf-8")
+        assert ResultStore(tmp_path).systems() == ["alpha"]
+        # and the next append heals the index
+        healer = ResultStore(tmp_path)
+        healer.append("alpha", "c", record("b"))
+        assert json.loads((tmp_path / "systems.json").read_text()) == {"alpha": "alpha.jsonl"}
+
+    def test_manifest_order_still_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest({**MANIFEST, "systems": {"b": "B", "a": "A"}})
+        store.append("b", "c", record("x"))
+        assert store.systems() == ["b", "a"]
+
+
+class TestIterRecordsStreaming:
+    def test_iter_records_is_lazy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(5):
+            store.append("pg", "c", record(f"s{i}"))
+        iterator = store.iter_records("pg")
+        first = next(iterator)
+        assert first[1].scenario_id == "s0"
+        iterator.close()  # closing mid-iteration must not raise
+
+    def test_corrupt_line_followed_by_blank_line_still_raises(self, tmp_path):
+        # a blank line after garbage proves the garbage is interior, exactly
+        # like the pre-streaming implementation did
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        with open(store.path_for("pg"), "a", encoding="utf-8") as handle:
+            handle.write("garbage\n\n")
+        with pytest.raises(StoreError, match="corrupt record"):
+            list(store.iter_records("pg"))
+
+    def test_corrupt_final_line_with_newline_is_tolerated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("pg", "c", record("a"))
+        with open(store.path_for("pg"), "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")  # torn write that still got its newline
+        assert [r.scenario_id for _, r in store.iter_records("pg")] == ["a"]
+
+
 class TestLoading:
     def test_load_profiles_groups_by_campaign(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -275,3 +275,123 @@ class TestKilledRunResumeEquivalence:
         from repro.core.report import store_matrix_table
 
         assert store_matrix_table(store) == result.matrix()
+
+
+class _KilledMidRun(Exception):
+    pass
+
+
+class _KillingStore(ResultStore):
+    """A store whose append raises after N records -- the moment a real
+    SIGKILL would strike, since the engine releases records to the store
+    live under every executor."""
+
+    def __init__(self, root, after: int):
+        super().__init__(root)
+        self.after = after
+        self.appended = 0
+
+    def append(self, system, campaign, record):
+        if self.appended >= self.after:
+            raise _KilledMidRun(f"killed after {self.after} records")
+        self.appended += 1
+        super().append(system, campaign, record)
+
+
+class TestParallelKillDurability:
+    """A --jobs 4 run killed mid-campaign keeps its completed records.
+
+    This is the durability bug the streaming pipeline fixes: the old
+    barrier executors fired the suite's store appends only after a whole
+    (system, plugin) cell had finished, so a killed parallel run silently
+    discarded everything in flight and --resume re-ran work that had
+    actually completed.  Now records stream to disk in scenario order as
+    the front of the sequence completes, under the thread and the process
+    strategy alike.
+    """
+
+    KILL_AFTER = 9
+
+    def _count_records(self, root) -> int:
+        store = ResultStore(root)
+        return sum(1 for system in ("mysql", "postgres") for _ in store.iter_records(system))
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_killed_parallel_run_keeps_all_but_in_flight_records(self, tmp_path, executor):
+        reference = small_suite(jobs=4, executor=executor).run(
+            store=ResultStore(tmp_path / "reference")
+        )
+        assert reference.total_executed() > self.KILL_AFTER + 4
+
+        killed_root = tmp_path / "killed"
+        with pytest.raises(_KilledMidRun):
+            small_suite(jobs=4, executor=executor).run(
+                store=_KillingStore(killed_root, after=self.KILL_AFTER)
+            )
+
+        # everything released before the kill is on disk -- with an
+        # exception-kill the in-order release makes that exactly N records;
+        # a SIGKILL could additionally tear the final line, never more
+        on_disk = self._count_records(killed_root)
+        assert on_disk == self.KILL_AFTER
+        assert on_disk >= self.KILL_AFTER - 4  # the issue's >= N - jobs floor
+
+        # --resume replays only the genuinely missing scenarios
+        resumed = small_suite(jobs=4, executor=executor).run(
+            store=ResultStore(killed_root), resume=True
+        )
+        assert resumed.total_skipped() == on_disk
+        assert resumed.total_executed() == reference.total_executed() - on_disk
+        assert resumed.table1() == reference.table1()
+        assert self._count_records(killed_root) == reference.total_executed()
+
+    def test_killed_parallel_run_with_torn_tail_still_resumes(self, tmp_path):
+        killed_root = tmp_path / "killed"
+        with pytest.raises(_KilledMidRun):
+            small_suite(jobs=4, executor="thread").run(
+                store=_KillingStore(killed_root, after=self.KILL_AFTER)
+            )
+        jsonl_files = sorted(killed_root.glob("*.jsonl"))
+        assert jsonl_files, "the killed run left records behind"
+        with open(jsonl_files[0], "ab") as handle:
+            handle.write(b'{"campaign": "spelling", "rec')  # SIGKILL mid-write
+
+        reference = small_suite().run()
+        resumed = small_suite(jobs=4, executor="thread").run(
+            store=ResultStore(killed_root), resume=True
+        )
+        assert resumed.total_skipped() == self.KILL_AFTER
+        assert resumed.table1() == reference.table1()
+
+
+class TestRecordObserver:
+    def test_record_observer_fires_after_the_store_append(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        observed: list[tuple[str, str, str, int]] = []
+
+        def observer(system, plugin, record):
+            # by the time the observer reports a record, it is already durable
+            on_disk = sum(1 for _ in ResultStore(store.root).iter_records(system))
+            observed.append((system, plugin, record.scenario_id, on_disk))
+
+        suite = small_suite(jobs=4, executor="thread", record_observer=observer)
+        result = suite.run(store=store)
+        assert len(observed) == result.total_executed()
+        per_system: dict[str, int] = {}
+        for system, _plugin, _scenario, on_disk in observed:
+            per_system[system] = per_system.get(system, 0) + 1
+            assert on_disk >= per_system[system]
+
+    def test_record_observer_without_store_sees_scenario_order(self):
+        observed: list[str] = []
+        suite = small_suite(
+            jobs=4,
+            executor="thread",
+            record_observer=lambda system, plugin, record: observed.append(record.scenario_id),
+        )
+        result = suite.run()
+        expected = []
+        for system in ("mysql", "postgres"):
+            for profile in result.profiles[system].values():
+                expected.extend(record.scenario_id for record in profile.records)
+        assert observed == expected

@@ -26,8 +26,16 @@ class TestParser:
             ["run", "--system", "mysql", "--jobs", "4", "--executor", "thread"]
         )
         assert args.jobs == 4 and args.executor == "thread"
+        assert args.block_size is None
         args = build_parser().parse_args(["table1", "-j", "2"])
         assert args.jobs == 2
+
+    def test_block_size_flag(self):
+        for command in (["run", "--system", "mysql"], ["suite"], ["table1"], ["matrix"]):
+            args = build_parser().parse_args(command + ["--block-size", "8"])
+            assert args.block_size == 8
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "mysql", "--block-size", "0"])
 
     def test_executor_choices_are_validated(self):
         with pytest.raises(SystemExit):
@@ -109,6 +117,34 @@ class TestCommands:
              "--executor", "thread"]
         ) == 0
         assert capsys.readouterr().out == serial_output
+        assert main(
+            ["run", "--system", "postgres", "--plugin", "spelling", "--jobs", "3",
+             "--executor", "thread", "--block-size", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial_output
+
+    def test_progress_observer_writes_to_tty_streams_only(self):
+        import io
+
+        from repro.cli import _progress_observer
+        from repro.core.profile import InjectionOutcome, InjectionRecord
+
+        assert _progress_observer(io.StringIO()) is None  # not a TTY: silent
+
+        class FakeTTY(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = FakeTTY()
+        progress = _progress_observer(stream)
+        record = InjectionRecord(
+            scenario_id="s1", category="typo", description="",
+            outcome=InjectionOutcome.IGNORED,
+        )
+        progress("mysql", "spelling", record)
+        progress("mysql", "spelling", record)
+        text = stream.getvalue()
+        assert "2 records" in text and "mysql/spelling: 2" in text
 
     def test_run_command_json_output(self, capsys):
         assert main(["run", "--system", "djbdns", "--plugin", "semantic-dns", "--json"]) == 0
