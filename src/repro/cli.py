@@ -28,8 +28,18 @@ Sub-commands
     stored suite/matrix run byte-identically to the live rendering.
 ``conferr report``
     Re-render a saved profile JSON file or a result-store directory.
+``conferr store verify|repair|diff``
+    Check a result store for corrupt records, quarantine unreadable lines
+    to a sidecar and rebuild the index, or compare two stores' records
+    (ignoring wall-clock durations and quarantined scenarios).
 ``conferr list``
     Show the available systems, plugins, dialects and keyboard layouts.
+
+Campaign-running sub-commands accept fault-tolerance flags
+(``--timeout-seconds``, ``--max-retries``, ``--retry-backoff-seconds``);
+see ``docs/ROBUSTNESS.md``.  SIGINT/SIGTERM shut a run down gracefully:
+store append handles are flushed and closed, and the resumable-store hint
+is printed instead of a traceback (exit status 130).
 
 ``run`` and ``suite`` also accept ``--dump-spec``: print the equivalent
 spec file (TOML) instead of running, so any flag invocation can be turned
@@ -41,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from typing import Callable, Sequence
 
@@ -52,7 +63,7 @@ from repro.core.spec import (
     StoreSpec,
     SystemSpec,
 )
-from repro.core.store import ResultStore
+from repro.core.store import ResultStore, diff_stores
 from repro.core.suite import CampaignSuite, SuiteResult
 from repro.errors import CampaignError, SpecError, StoreError
 from repro.parsers.base import available_dialects
@@ -75,6 +86,27 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be zero or positive, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be zero or positive, got {value}")
     return value
 
 
@@ -137,6 +169,33 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
             "scenarios a worker pulls from the shared work queue per pull "
             "(default: auto); profiles are identical for any value"
         ),
+    )
+    parser.add_argument(
+        "--timeout-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-scenario watchdog deadline; a hung experiment is cancelled "
+            "and recorded as a TIMEOUT outcome (default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "isolated re-attempts granted a scenario that crashed its worker "
+            "before it is quarantined (default 2 once fault tolerance is on)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff-seconds",
+        type=_nonnegative_float,
+        default=None,
+        metavar="S",
+        help="base of the seeded exponential backoff between crash retries",
     )
 
 
@@ -207,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip scenarios whose records are already in --store and continue",
+    )
+    suite.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help=(
+            "with --resume: re-attempt quarantined scenarios instead of "
+            "treating them as done"
+        ),
     )
     suite.add_argument(
         "--dump-spec",
@@ -304,6 +371,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_arguments(matrix)
 
+    store_cmd = sub.add_parser(
+        "store", help="inspect and maintain result-store directories"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify", help="check a result store for corrupt records and index drift"
+    )
+    store_verify.add_argument("store_dir", help="result-store directory")
+    store_repair = store_sub.add_parser(
+        "repair",
+        help=(
+            "quarantine corrupt lines to .corrupt sidecars, drop torn tails "
+            "and rebuild systems.json"
+        ),
+    )
+    store_repair.add_argument("store_dir", help="result-store directory")
+    store_diff = store_sub.add_parser(
+        "diff", help="compare the records of two result stores"
+    )
+    store_diff.add_argument("left", help="first result-store directory")
+    store_diff.add_argument("right", help="second result-store directory")
+    store_diff.add_argument(
+        "--include-quarantined",
+        action="store_true",
+        help="also flag records whose scenario id is quarantined in either store",
+    )
+
     sub.add_parser("list", help="list available systems, plugins, dialects and layouts")
     return parser
 
@@ -318,6 +412,9 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionSpec:
         mutations_per_token=args.mutations_per_token,
         max_scenarios_per_class=args.max_scenarios_per_class,
         layout=args.layout,
+        timeout_seconds=args.timeout_seconds,
+        max_retries=args.max_retries,
+        retry_backoff_seconds=args.retry_backoff_seconds,
     )
 
 
@@ -336,7 +433,11 @@ def _spec_from_run_args(args: argparse.Namespace) -> ExperimentSpec:
 def _spec_from_suite_args(args: argparse.Namespace) -> ExperimentSpec:
     store = None
     if args.store:
-        store = StoreSpec(root=args.store, resume=args.resume)
+        store = StoreSpec(
+            root=args.store,
+            resume=args.resume,
+            retry_quarantined=args.retry_quarantined,
+        )
     return ExperimentSpec(
         systems=tuple(SystemSpec(name) for name in args.systems),
         plugins=tuple(PluginSpec(name) for name in args.plugins),
@@ -374,11 +475,18 @@ def _progress_observer(stream=None):
     return progress
 
 
+#: Stores opened by the running command; the KeyboardInterrupt handler in
+#: :func:`main` flushes and closes these so an interrupted run stays resumable.
+_ACTIVE_STORES: list[ResultStore] = []
+
+
 def _run_spec(spec: ExperimentSpec, resume: bool) -> tuple[SuiteResult, ResultStore | None]:
     """Run an experiment spec; the one execution path for run/suite/run-spec."""
     progress = _progress_observer()
     suite = CampaignSuite.from_spec(spec, record_observer=progress)
     store = spec.build_store()
+    if store is not None:
+        _ACTIVE_STORES.append(store)
     try:
         result = suite.run(store=store, resume=resume)
     finally:
@@ -386,6 +494,10 @@ def _run_spec(spec: ExperimentSpec, resume: bool) -> tuple[SuiteResult, ResultSt
             print(file=sys.stderr)  # move off the \r progress line
         if store is not None:
             store.close()
+    # only on success: an interrupted run keeps its store listed so the
+    # KeyboardInterrupt handler in main() can name it in the resume hint
+    if store is not None and store in _ACTIVE_STORES:
+        _ACTIVE_STORES.remove(store)
     return result, store
 
 
@@ -479,6 +591,35 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    if args.store_command == "diff":
+        for path in (args.left, args.right):
+            if not os.path.isdir(path):
+                raise StoreError(f"not a result-store directory: {path}")
+        differences = diff_stores(
+            ResultStore(args.left),
+            ResultStore(args.right),
+            ignore_quarantined=not args.include_quarantined,
+        )
+        if not differences:
+            print(f"stores match: {args.left} == {args.right}")
+            return 0
+        for line in differences:
+            print(line)
+        print(f"{len(differences)} difference(s)")
+        return 1
+    if not os.path.isdir(args.store_dir):
+        raise StoreError(f"not a result-store directory: {args.store_dir}")
+    store = ResultStore(args.store_dir)
+    if args.store_command == "repair":
+        # the report lists what was moved; the store itself is clean afterwards
+        print(store.repair().summary())
+        return 0
+    report = store.verify()
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     from repro.keyboard.layouts import available_layouts
 
@@ -492,10 +633,26 @@ def _command_list(_args: argparse.Namespace) -> int:
 
 def _owned_store(path: str | None):
     """Context manager for a --store argument: a ResultStore whose cached
-    append handles are closed when the command finishes, or None."""
-    from contextlib import nullcontext
+    append handles are closed when the command finishes, or None.
 
-    return ResultStore(path) if path else nullcontext()
+    The store is registered with :data:`_ACTIVE_STORES` while open so an
+    interrupt still flushes it."""
+    from contextlib import contextmanager, nullcontext
+
+    if not path:
+        return nullcontext()
+
+    @contextmanager
+    def tracked():
+        store = ResultStore(path)
+        _ACTIVE_STORES.append(store)
+        with store:
+            yield store
+        # only on success -- an interrupted run keeps the store listed so
+        # the KeyboardInterrupt handler in main() can name it in its hint
+        _ACTIVE_STORES.remove(store)
+
+    return tracked()
 
 
 def _command_table1(args: argparse.Namespace) -> int:
@@ -603,6 +760,11 @@ def _command_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sigterm_to_interrupt(signum: int, frame: object) -> None:
+    """Fold SIGTERM into the KeyboardInterrupt shutdown path of :func:`main`."""
+    raise KeyboardInterrupt
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``conferr`` console script."""
     parser = build_parser()
@@ -614,12 +776,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _command_validate,
         "list": _command_list,
         "report": _command_report,
+        "store": _command_store,
         "table1": _command_table1,
         "table2": _command_table2,
         "table3": _command_table3,
         "figure3": _command_figure3,
         "matrix": _command_matrix,
     }
+    del _ACTIVE_STORES[:]
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:  # not the main thread (e.g. tests driving main())
+        previous_sigterm = None
     try:
         return handlers[args.command](args)
     except (CampaignError, SpecError, StoreError) as exc:
@@ -627,6 +795,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         # resume pointed at an incompatible/existing store, or an invalid spec
         print(f"conferr: error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # graceful shutdown: flush the stores so the run stays resumable,
+        # report where the records are, and exit without a traceback
+        roots = []
+        for store in list(_ACTIVE_STORES):
+            try:
+                store.close()
+            except Exception:  # noqa: BLE001 - best-effort flush on the way out
+                pass
+            else:
+                roots.append(str(store.root))
+            _ACTIVE_STORES.remove(store)
+        print("conferr: interrupted", file=sys.stderr)
+        for root in roots:
+            print(
+                f"conferr: records flushed to {root}; rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.engine import InjectionEngine
+from repro.core.faults import FaultPolicy
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.core.spec import ExperimentSpec, derive_seed
 from repro.errors import CampaignError
@@ -112,6 +113,8 @@ class Campaign:
     jobs: int = 1
     executor: str | None = None
     block_size: int | None = None
+    #: Opt-in fault tolerance (timeouts, crash retry, quarantine); None off.
+    policy: FaultPolicy | None = None
     seed_for: Callable[[ErrorGeneratorPlugin, int], int] | None = field(default=None, repr=False)
     scenario_filter: Callable[[str, object], bool] | None = field(default=None, repr=False)
     plugin_observer: Callable[[str, InjectionRecord], None] | None = field(
@@ -149,6 +152,7 @@ class Campaign:
             jobs=spec.execution.jobs,
             executor=spec.execution.executor,
             block_size=spec.execution.block_size,
+            policy=FaultPolicy.from_execution(spec.execution),
             seed_for=lambda plugin, _index, key=system: derive_seed(seed, key, plugin.name),
         )
 
@@ -175,6 +179,7 @@ class Campaign:
                 jobs=self.jobs,
                 executor=self.executor,
                 block_size=self.block_size,
+                policy=self.policy,
             )
             if self.check_baseline and index == 0:
                 problems = engine.baseline_check()

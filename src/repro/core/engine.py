@@ -28,6 +28,7 @@ import random
 import time
 from typing import Callable, Mapping, Sequence
 
+from repro.core.faults import FaultPolicy
 from repro.core.infoset import ConfigSet
 from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.core.templates.base import FaultScenario
@@ -76,6 +77,12 @@ class InjectionEngine:
         count).  Smaller blocks rebalance skewed scenario costs better;
         larger blocks reduce queue traffic.  Profiles are identical for any
         value.
+    policy:
+        Optional :class:`~repro.core.faults.FaultPolicy` opting the campaign
+        into the fault-tolerance layer (per-scenario timeouts, worker-crash
+        retry and quarantine).  Requires a SUT factory -- a watchdog that
+        cannot rebuild its worker context cannot recover anything.  None
+        (the default) leaves every execution path untouched.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class InjectionEngine:
         jobs: int = 1,
         executor: str | None = None,
         block_size: int | None = None,
+        policy: FaultPolicy | None = None,
     ):
         if sut_factory is not None:
             self.sut = sut if isinstance(sut, SystemUnderTest) else sut_factory()
@@ -105,6 +113,7 @@ class InjectionEngine:
         self.jobs = jobs
         self.executor = executor
         self.block_size = block_size
+        self.policy = policy
 
     # ---------------------------------------------------------------- parsing
     def parse_initial_configuration(self) -> ConfigSet:
@@ -184,10 +193,15 @@ class InjectionEngine:
         from repro.core.executor import SerialExecutor, resolve_executor
 
         strategy = resolve_executor(self.executor, self.jobs, self.block_size)
-        if isinstance(strategy, SerialExecutor):
+        if isinstance(strategy, SerialExecutor) and self.policy is None:
             # serial == inline: reuse this engine's SUT and already-built
             # context instead of re-parsing inside a worker
             strategy = None
+        if strategy is None and self.policy is not None:
+            # fault tolerance runs scenarios on a disposable guarded worker
+            # even serially: a hung context must be abandonable, which the
+            # inline path (sharing this engine's own SUT) cannot offer
+            strategy = SerialExecutor()
         profile = ResilienceProfile(self.sut.name)
         if not scenario_list:
             return profile
@@ -227,10 +241,11 @@ class InjectionEngine:
 
         if self.sut_factory is None:
             raise CampaignError(
-                "parallel execution needs a SUT factory: pass the SUT class or a "
-                "zero-argument callable instead of a shared instance"
+                "parallel execution and fault tolerance need a SUT factory: pass "
+                "the SUT class or a zero-argument callable instead of a shared "
+                "instance"
             )
-        return WorkerSpec(sut_factory=self.sut_factory, plugin=self.plugin)
+        return WorkerSpec(sut_factory=self.sut_factory, plugin=self.plugin, policy=self.policy)
 
     def materialize(
         self,

@@ -47,11 +47,17 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+import time
+import traceback
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+from repro.core.faults import FaultPolicy, GuardedWorker, crash_record, timeout_record
 from repro.core.profile import InjectionRecord
 from repro.core.templates.base import FaultScenario
 from repro.errors import CampaignError
@@ -90,10 +96,15 @@ class WorkerSpec:
     working view, then pulls blocks of scenarios from the shared queue.  No
     seed is carried: scenario generation (the only randomised stage) happens
     solely in the coordinator, before fan-out.
+
+    ``policy`` opts the worker into the fault-tolerance layer
+    (:mod:`repro.core.faults`); ``None`` -- the default -- keeps every
+    execution path exactly as it was without it.
     """
 
     sut_factory: Callable[[], SystemUnderTest]
     plugin: ErrorGeneratorPlugin
+    policy: FaultPolicy | None = None
 
 
 class WorkerContext:
@@ -180,13 +191,35 @@ def _merge_in_order(
     return [record for _, record in flat]
 
 
+def _make_runner(spec: WorkerSpec) -> "WorkerContext | GuardedWorker":
+    """One worker's scenario runner, honouring the spec's fault policy.
+
+    Without a policy this is a plain :class:`WorkerContext`; with one, a
+    :class:`~repro.core.faults.GuardedWorker` wrapping a context factory, so
+    hung or crashed contexts can be abandoned and rebuilt mid-run.  Both
+    expose the same ``run(scenario) -> record`` surface.
+    """
+    if spec.policy is None:
+        return WorkerContext(spec)
+    return GuardedWorker(lambda: WorkerContext(spec), spec.policy)
+
+
+def _close_runner(runner: "WorkerContext | GuardedWorker | None") -> None:
+    """Release a runner's helper thread, if it has one."""
+    if isinstance(runner, GuardedWorker):
+        runner.close()
+
+
 def _serial_stream(
     spec: WorkerSpec, indexed: Sequence[tuple[int, FaultScenario]]
 ) -> Iterator[tuple[int, InjectionRecord]]:
     """Single-worker reference stream: one context, records in scenario order."""
-    context = WorkerContext(spec)
-    for index, scenario in indexed:
-        yield index, context.run(scenario)
+    runner = _make_runner(spec)
+    try:
+        for index, scenario in indexed:
+            yield index, runner.run(scenario)
+    finally:
+        _close_runner(runner)
 
 
 class CampaignExecutor(ABC):
@@ -234,12 +267,33 @@ class SerialExecutor(CampaignExecutor):
 
 
 class _WorkerFailure:
-    """Envelope carrying a worker-side exception to the consuming thread."""
+    """Envelope carrying a worker-side exception to the consuming thread.
 
-    __slots__ = ("exception",)
+    The formatted worker traceback rides along so the real failure site
+    survives transits that strip the exception's own traceback object --
+    which is the rule, not the exception, once process boundaries and
+    re-raising from stashes are involved.
+    """
 
-    def __init__(self, exception: BaseException):
+    __slots__ = ("exception", "traceback_text")
+
+    def __init__(self, exception: BaseException, traceback_text: str | None = None):
         self.exception = exception
+        self.traceback_text = traceback_text
+
+    def reraise(self) -> None:
+        """Raise the worker's exception, re-attaching a lost failure site.
+
+        When the exception object still carries its traceback (same-process
+        thread workers) it is raised untouched; when that traceback was lost
+        in transit, the formatted worker-side text is chained on as the
+        cause so diagnostics keep pointing at the real frame.
+        """
+        if self.exception.__traceback__ is None and self.traceback_text:
+            raise self.exception from CampaignError(
+                "worker-side traceback:\n" + self.traceback_text.rstrip()
+            )
+        raise self.exception
 
 
 #: Queue sentinel: one per worker thread, announcing that it has drained.
@@ -282,8 +336,9 @@ class ThreadPoolCampaignExecutor(CampaignExecutor):
         stop = threading.Event()
 
         def work() -> None:
+            runner: WorkerContext | GuardedWorker | None = None
             try:
-                context = WorkerContext(spec)
+                runner = _make_runner(spec)
                 while not stop.is_set():
                     try:
                         block = blocks.get_nowait()
@@ -292,10 +347,11 @@ class ThreadPoolCampaignExecutor(CampaignExecutor):
                     for index, scenario in block:
                         if stop.is_set():
                             return
-                        results.put((index, context.run(scenario)))
+                        results.put((index, runner.run(scenario)))
             except BaseException as exc:  # noqa: BLE001 - must cross the thread
-                results.put(_WorkerFailure(exc))
+                results.put(_WorkerFailure(exc, traceback.format_exc()))
             finally:
+                _close_runner(runner)
                 results.put(_WORKER_DONE)
 
         threads = [
@@ -318,7 +374,7 @@ class ThreadPoolCampaignExecutor(CampaignExecutor):
                 elif failure is None:
                     yield item
             if failure is not None:
-                raise failure.exception
+                failure.reraise()
         finally:
             # Consumer gone (exhausted, failed, or abandoned mid-stream):
             # workers finish their current experiment and exit.
@@ -329,8 +385,10 @@ class ThreadPoolCampaignExecutor(CampaignExecutor):
 
 # ----------------------------------------------------------- process workers
 #: Per-process worker state, installed once by the pool initializer so that
-#: every block task reuses the same SUT/parse/view/baseline context.
-_PROCESS_CONTEXT: WorkerContext | None = None
+#: every block task reuses the same SUT/parse/view/baseline context.  With a
+#: fault policy on the spec the runner is a GuardedWorker, so ordinary hangs
+#: are resolved *inside* the worker process and never reach the coordinator.
+_PROCESS_CONTEXT: WorkerContext | GuardedWorker | None = None
 _PROCESS_SCENARIOS: tuple[FaultScenario, ...] = ()
 _PROCESS_INIT_ERROR: str | None = None
 
@@ -339,14 +397,14 @@ def _initialize_process_worker(spec: WorkerSpec, scenarios: tuple[FaultScenario,
     """Pool initializer: build this process's injection context exactly once."""
     global _PROCESS_CONTEXT, _PROCESS_SCENARIOS, _PROCESS_INIT_ERROR
     try:
-        _PROCESS_CONTEXT = WorkerContext(spec)
+        _PROCESS_CONTEXT = _make_runner(spec)
         _PROCESS_SCENARIOS = tuple(scenarios)
         _PROCESS_INIT_ERROR = None
     except BaseException as exc:  # noqa: BLE001 - a raising initializer breaks
         # the whole pool with an opaque BrokenProcessPool; stash the cause and
         # report it from the first block task instead, with a real message
         _PROCESS_CONTEXT = None
-        _PROCESS_INIT_ERROR = f"{type(exc).__name__}: {exc}"
+        _PROCESS_INIT_ERROR = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
 
 
 def _run_scenario_block(indices: Sequence[int]) -> list[tuple[int, InjectionRecord]]:
@@ -393,6 +451,10 @@ class ProcessPoolCampaignExecutor(CampaignExecutor):
                 "closures such as token filters are not): " + str(exc)
             ) from exc
 
+        if spec.policy is not None:
+            yield from self._tolerant_stream(spec, scenario_list, workers, spec.policy)
+            return
+
         block_size = resolve_block_size(len(scenario_list), workers, self.block_size)
         index_blocks = make_blocks(range(len(scenario_list)), block_size)
         pool = ProcessPoolExecutor(
@@ -408,6 +470,150 @@ class ProcessPoolCampaignExecutor(CampaignExecutor):
             # Abandoned mid-stream (consumer failure/kill): drop the queued
             # blocks, wait only for the ones already running.
             pool.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------- fault-tolerant variant
+    def _spawn_pool(
+        self, spec: WorkerSpec, scenario_list: list[FaultScenario], workers: int
+    ) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_process_worker,
+            initargs=(spec, tuple(scenario_list)),
+        )
+
+    def _tolerant_stream(
+        self,
+        spec: WorkerSpec,
+        scenario_list: list[FaultScenario],
+        workers: int,
+        policy: FaultPolicy,
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        """Process stream that survives worker death and wedged workers.
+
+        Ordinary hangs never surface here: each worker process runs its
+        scenarios under an in-process :class:`GuardedWorker`, which turns
+        them into ``TIMEOUT`` records.  What is left for the coordinator:
+
+        * **worker death** (``os._exit``, segfault, OOM-kill).  The stdlib
+          pool declares itself wholly broken, so every unfinished block --
+          guilty and innocent alike -- is lost.  Blocks are submitted
+          through a bounded window to cap that blast radius, the pool is
+          respawned for the remaining queue, and the lost scenarios go to a
+          *suspect* list.
+        * **a wedged worker** (hung beyond the reach of its own watchdog
+          thread).  Detected by the coordinator-side hard deadline; the
+          pool's processes are killed outright and in-flight blocks become
+          suspects.
+
+        Suspects are then re-run one at a time in **singleton pools**: an
+        innocent scenario simply succeeds in isolation (its record identical
+        to a fault-free run's), while a guilty one demonstrably kills its
+        private pool and -- after ``max_retries`` isolated re-attempts with
+        seeded backoff -- is quarantined with a ``HARNESS_ERROR`` record.
+        Attribution is therefore exact: no innocent scenario is ever
+        quarantined for a neighbour's crash.
+        """
+        total = len(scenario_list)
+        block_size = resolve_block_size(total, workers, self.block_size)
+        pending_blocks: deque[list[int]] = deque(make_blocks(range(total), block_size))
+        suspects: deque[int] = deque()
+        window = workers * 2
+
+        while pending_blocks:
+            pool = self._spawn_pool(spec, scenario_list, min(workers, len(pending_blocks)))
+            in_flight: dict = {}
+            broken = False
+            try:
+                while (pending_blocks or in_flight) and not broken:
+                    while pending_blocks and len(in_flight) < window:
+                        block = pending_blocks.popleft()
+                        in_flight[pool.submit(_run_scenario_block, block)] = block
+                    deadline = policy.block_deadline(
+                        max(len(block) for block in in_flight.values())
+                    )
+                    done, _ = wait(set(in_flight), timeout=deadline, return_when=FIRST_COMPLETED)
+                    if not done:
+                        # No progress within the hard deadline: the workers
+                        # are wedged beyond their own watchdogs.  Kill them.
+                        _terminate_pool(pool)
+                        for block in in_flight.values():
+                            suspects.extend(block)
+                        in_flight = {}
+                        break
+                    for future in done:
+                        block = in_flight.pop(future)
+                        try:
+                            yield from future.result()
+                        except BrokenProcessPool:
+                            suspects.extend(block)
+                            broken = True
+                # Pool broke: the stdlib fails *every* unfinished future, but
+                # ones that finished before the break still hold real results.
+                for future, block in in_flight.items():
+                    try:
+                        yield from future.result()
+                    except BrokenProcessPool:
+                        suspects.extend(block)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        yield from self._isolate_suspects(spec, scenario_list, suspects, policy)
+
+    def _isolate_suspects(
+        self,
+        spec: WorkerSpec,
+        scenario_list: list[FaultScenario],
+        suspects: deque,
+        policy: FaultPolicy,
+    ) -> Iterator[tuple[int, InjectionRecord]]:
+        """Re-run each suspect alone in a singleton pool for exact blame."""
+        attempts: dict[int, int] = {}
+        while suspects:
+            index = suspects.popleft()
+            scenario = scenario_list[index]
+            previous = attempts.get(index, 0)
+            if previous:
+                time.sleep(policy.backoff_delay(scenario.scenario_id, previous))
+            pool = self._spawn_pool(spec, scenario_list, 1)
+            try:
+                future = pool.submit(_run_scenario_block, [index])
+                try:
+                    pairs = future.result(timeout=policy.block_deadline(1))
+                except BrokenProcessPool:
+                    attempts[index] = previous + 1
+                    if attempts[index] > policy.max_retries:
+                        yield index, crash_record(
+                            scenario,
+                            "worker process died; reproduced in isolation",
+                            retries=policy.max_retries,
+                        )
+                    else:
+                        suspects.append(index)
+                except FuturesTimeoutError:
+                    _terminate_pool(pool)
+                    yield index, timeout_record(
+                        scenario, policy.timeout_seconds, wedged=True
+                    )
+                else:
+                    yield from pairs
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool whose workers are wedged beyond cooperative shutdown.
+
+    Reaches into the executor's private process table -- there is no public
+    API for "stop waiting for these workers" -- and terminates each one, so
+    ``shutdown`` cannot block on a process that will never answer.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 _EXECUTORS: dict[str, type[CampaignExecutor]] = {

@@ -38,6 +38,9 @@ class InjectionOutcome(Enum):
     INJECTION_IMPOSSIBLE = "injection-impossible"
     #: The harness itself failed; the record is excluded from statistics.
     HARNESS_ERROR = "harness-error"
+    #: The experiment exceeded its deadline and was cancelled by the
+    #: watchdog; like harness errors, excluded from statistics.
+    TIMEOUT = "timeout"
 
     def is_detected(self) -> bool:
         """True for the two outcomes in which the error was caught."""
@@ -262,6 +265,7 @@ class ResilienceProfile:
             f"  ignored:                {counts[InjectionOutcome.IGNORED]}",
             f"  impossible to inject:   {counts[InjectionOutcome.INJECTION_IMPOSSIBLE]}",
             f"  harness errors:         {counts[InjectionOutcome.HARNESS_ERROR]}",
+            f"  timeouts:               {counts[InjectionOutcome.TIMEOUT]}",
             f"  detection rate:         {self.detection_rate():.1%}",
         ]
         return "\n".join(lines)

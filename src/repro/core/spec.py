@@ -104,6 +104,12 @@ def _require_int(value: Any, path: str) -> int:
     return value
 
 
+def _require_number(value: Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{path}: expected a number, got {value!r}")
+    return float(value)
+
+
 def _require_bool(value: Any, path: str) -> bool:
     if not isinstance(value, bool):
         raise SpecError(f"{path}: expected true/false, got {value!r}")
@@ -135,10 +141,22 @@ class SystemSpec:
     key used for store files and rendered table columns and defaults to the
     registry name.  Labels let a spec give a workload variant its canonical
     column name (``mysql-server-only`` shown as ``MySQL``).
+
+    ``chaos`` (a ``[systems.chaos]`` table in TOML) wraps the system in a
+    :class:`~repro.sut.chaos.ChaosSUT`, making a seeded fraction of its
+    injection experiments hang, crash their worker, or raise -- the
+    inject-and-observe method of the paper turned on the harness itself.
+    Keys: ``hang_fraction``, ``crash_fraction``, ``error_fraction``,
+    ``seed``, ``hang_seconds``.
     """
 
     name: str
     label: str | None = None
+    chaos: Mapping[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.chaos is not None:
+            object.__setattr__(self, "chaos", dict(self.chaos))
 
     @property
     def key(self) -> str:
@@ -149,6 +167,8 @@ class SystemSpec:
         data: dict[str, Any] = {"name": self.name}
         if self.label is not None and self.label != self.name:
             data["label"] = self.label
+        if self.chaos:
+            data["chaos"] = dict(self.chaos)
         return data
 
     @classmethod
@@ -156,11 +176,38 @@ class SystemSpec:
         if isinstance(data, str):  # "mysql" shorthand for {name = "mysql"}
             return cls(name=_require_str(data, f"{path}.name"))
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("name", "label"), path)
+        _reject_unknown_keys(data, ("name", "label", "chaos"), path)
         label = data.get("label")
         if label is not None:
             label = _require_str(label, f"{path}.label")
-        return cls(name=_require_str(data.get("name"), f"{path}.name"), label=label)
+        chaos = data.get("chaos")
+        if chaos is not None:
+            chaos = dict(_require_mapping(chaos, f"{path}.chaos"))
+        return cls(
+            name=_require_str(data.get("name"), f"{path}.name"), label=label, chaos=chaos
+        )
+
+    def validate_chaos(self, path: str) -> None:
+        """Typed validation of the chaos table (fractions, seed, hang time)."""
+        if self.chaos is None:
+            return
+        known = ("hang_fraction", "crash_fraction", "error_fraction", "seed", "hang_seconds")
+        _reject_unknown_keys(self.chaos, known, path)
+        total = 0.0
+        for key in ("hang_fraction", "crash_fraction", "error_fraction"):
+            if key in self.chaos:
+                value = _require_number(self.chaos[key], f"{path}.{key}")
+                if not 0.0 <= value <= 1.0:
+                    raise SpecError(f"{path}.{key}: must be within [0, 1], got {value}")
+                total += value
+        if total > 1.0:
+            raise SpecError(f"{path}: fault fractions must sum to at most 1, got {total}")
+        if "seed" in self.chaos:
+            _require_int(self.chaos["seed"], f"{path}.seed")
+        if "hang_seconds" in self.chaos:
+            value = _require_number(self.chaos["hang_seconds"], f"{path}.hang_seconds")
+            if value <= 0:
+                raise SpecError(f"{path}.hang_seconds: must be positive, got {value}")
 
 
 @dataclass(frozen=True)
@@ -211,19 +258,38 @@ class PluginSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """Seed, worker fan-out and execution-level plugin defaults."""
+    """Seed, worker fan-out, fault tolerance and execution-level plugin defaults.
+
+    The three fault-tolerance knobs (``timeout_seconds``, ``max_retries``,
+    ``retry_backoff_seconds``) are all None by default, which leaves the
+    tolerance layer off entirely; setting any one of them opts the run into
+    :class:`~repro.core.faults.FaultPolicy` handling (per-scenario watchdog,
+    worker-crash retry, quarantine).
+    """
 
     seed: int = 2008
     jobs: int = 1
     executor: str | None = None
     block_size: int | None = None
+    timeout_seconds: float | None = None
+    max_retries: int | None = None
+    retry_backoff_seconds: float | None = None
     mutations_per_token: int | None = None
     max_scenarios_per_class: int | None = None
     layout: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"seed": self.seed, "jobs": self.jobs}
-        for key in ("executor", "block_size", "mutations_per_token", "max_scenarios_per_class", "layout"):
+        for key in (
+            "executor",
+            "block_size",
+            "timeout_seconds",
+            "max_retries",
+            "retry_backoff_seconds",
+            "mutations_per_token",
+            "max_scenarios_per_class",
+            "layout",
+        ):
             value = getattr(self, key)
             if value is not None:
                 data[key] = value
@@ -237,6 +303,9 @@ class ExecutionSpec:
             "jobs",
             "executor",
             "block_size",
+            "timeout_seconds",
+            "max_retries",
+            "retry_backoff_seconds",
             "mutations_per_token",
             "max_scenarios_per_class",
             "layout",
@@ -250,9 +319,12 @@ class ExecutionSpec:
         for key in ("executor", "layout"):
             if data.get(key) is not None:
                 kwargs[key] = _require_str(data[key], f"{path}.{key}")
-        for key in ("block_size", "mutations_per_token", "max_scenarios_per_class"):
+        for key in ("block_size", "max_retries", "mutations_per_token", "max_scenarios_per_class"):
             if data.get(key) is not None:
                 kwargs[key] = _require_int(data[key], f"{path}.{key}")
+        for key in ("timeout_seconds", "retry_backoff_seconds"):
+            if data.get(key) is not None:
+                kwargs[key] = _require_number(data[key], f"{path}.{key}")
         return cls(**kwargs)
 
     def validate(self, path: str = "execution") -> None:
@@ -267,6 +339,19 @@ class ExecutionSpec:
             value = getattr(self, key)
             if value is not None and value < 1:
                 raise SpecError(f"{path}.{key}: must be a positive integer, got {value}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise SpecError(
+                f"{path}.timeout_seconds: must be positive, got {self.timeout_seconds}"
+            )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise SpecError(
+                f"{path}.max_retries: must be zero or positive, got {self.max_retries}"
+            )
+        if self.retry_backoff_seconds is not None and self.retry_backoff_seconds < 0:
+            raise SpecError(
+                f"{path}.retry_backoff_seconds: must be zero or positive, "
+                f"got {self.retry_backoff_seconds}"
+            )
         if self.layout is not None:
             from repro.keyboard.layouts import available_layouts, get_layout
 
@@ -281,25 +366,36 @@ class ExecutionSpec:
 
 @dataclass(frozen=True)
 class StoreSpec:
-    """Persistent result-store settings of a spec-driven run."""
+    """Persistent result-store settings of a spec-driven run.
+
+    ``retry_quarantined`` controls what a resumed run does with scenarios
+    the fault-tolerance layer quarantined: False (the default) keeps
+    skipping them, True drops their quarantine entries and re-attempts
+    them.
+    """
 
     root: str
     resume: bool = False
+    retry_quarantined: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"root": self.root}
         if self.resume:
             data["resume"] = True
+        if self.retry_quarantined:
+            data["retry_quarantined"] = True
         return data
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "store") -> "StoreSpec":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("root", "resume"), path)
+        _reject_unknown_keys(data, ("root", "resume", "retry_quarantined"), path)
         resume = data.get("resume", False)
+        retry = data.get("retry_quarantined", False)
         return cls(
             root=_require_str(data.get("root"), f"{path}.root"),
             resume=_require_bool(resume, f"{path}.resume"),
+            retry_quarantined=_require_bool(retry, f"{path}.retry_quarantined"),
         )
 
 
@@ -456,6 +552,7 @@ class ExperimentSpec:
             # mirror CampaignSuite.system_names(): two systems whose SUTs
             # share a display name would merge into one rendered table
             # column, so validate must refuse what run-spec would refuse
+            system.validate_chaos(f"systems[{index}].chaos")
             display = split_sut(factory)[0].name
             if display in seen_displays:
                 other = self.systems[seen_displays[display]].name
@@ -500,10 +597,23 @@ class ExperimentSpec:
         return params
 
     def build_systems(self) -> dict[str, Callable[[], Any]]:
-        """Resolve the systems into ``{key: factory}`` (registry lookups)."""
+        """Resolve the systems into ``{key: factory}`` (registry lookups).
+
+        Systems with a ``chaos`` table come back wrapped in a picklable
+        :class:`~repro.sut.chaos.ChaosFactory`, so every worker -- thread or
+        process -- rebuilds the same seeded chaos wrapper.
+        """
         from repro.registry import get_system
 
-        return {system.key: get_system(system.name) for system in self.systems}
+        result: dict[str, Callable[[], Any]] = {}
+        for system in self.systems:
+            factory = get_system(system.name)
+            if system.chaos:
+                from repro.sut.chaos import ChaosFactory
+
+                factory = ChaosFactory.from_params(factory, system.chaos)
+            result[system.key] = factory
+        return result
 
     def build_plugins(self) -> list[Any]:
         """Construct fresh plugin instances via each plugin's ``from_params``.
@@ -540,9 +650,19 @@ class ExperimentSpec:
 #: Paths never compared when deciding whether a resume continues the same
 #: experiment: the store location is implied by the directory being resumed,
 #: and profiles are executor-invariant, so worker settings (including the
-#: work-stealing block size) may differ freely.
+#: work-stealing block size) may differ freely.  The fault-tolerance knobs
+#: are likewise free: they change how failures are *handled*, never which
+#: scenarios exist or what a successful record contains.
 RESUME_IRRELEVANT_PATHS = frozenset(
-    {"store", "execution.jobs", "execution.executor", "execution.block_size"}
+    {
+        "store",
+        "execution.jobs",
+        "execution.executor",
+        "execution.block_size",
+        "execution.timeout_seconds",
+        "execution.max_retries",
+        "execution.retry_backoff_seconds",
+    }
 )
 
 
@@ -611,7 +731,14 @@ def spec_dict_to_toml(data: Mapping[str, Any]) -> str:
     for index, system in enumerate(data.get("systems", ())):
         lines.append("[[systems]]")
         for key, value in system.items():
+            if key == "chaos":
+                continue
             lines.append(f"{key} = {_toml_value(value, f'systems[{index}].{key}')}")
+        chaos = system.get("chaos") or {}
+        if chaos:
+            lines.append("[systems.chaos]")
+            for key, value in chaos.items():
+                lines.append(f"{key} = {_toml_value(value, f'systems[{index}].chaos.{key}')}")
         lines.append("")
     for index, plugin in enumerate(data.get("plugins", ())):
         lines.append("[[plugins]]")

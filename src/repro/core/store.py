@@ -36,20 +36,38 @@ handles deterministically.
 from __future__ import annotations
 
 import json
+import os
 import re
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.errors import StoreError
 
-__all__ = ["ResultStore", "MANIFEST_VERSION", "filename_for"]
+__all__ = [
+    "ResultStore",
+    "MANIFEST_VERSION",
+    "QUARANTINE_NAME",
+    "filename_for",
+    "FileCheck",
+    "StoreReport",
+    "diff_stores",
+]
 
 #: Bump when the on-disk layout changes incompatibly.
 MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
 _SYSTEMS_INDEX_NAME = "systems.json"
+#: Manifest of scenarios the fault-tolerance layer gave up on, kept next to
+#: -- never inside -- the per-system record files: the main stream stays a
+#: clean record of real experiment outcomes, and a resumed run can decide to
+#: re-attempt or keep skipping the quarantined ones.
+QUARANTINE_NAME = "quarantine.jsonl"
+#: Suffix :meth:`ResultStore.repair` moves unreadable lines under; chosen so
+#: ``*.jsonl`` globs (and therefore :meth:`ResultStore.systems`) skip it.
+_CORRUPT_SUFFIX = ".corrupt"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 
@@ -63,6 +81,56 @@ def filename_for(system: str) -> str:
     return f"{safe}.jsonl"
 
 
+@dataclass
+class FileCheck:
+    """Verification result for one JSONL file in a store."""
+
+    system: str
+    path: str
+    records: int = 0
+    corrupt_lines: list[int] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt_lines and not self.torn_tail
+
+
+@dataclass
+class StoreReport:
+    """Outcome of :meth:`ResultStore.verify` or :meth:`ResultStore.repair`."""
+
+    root: str
+    files: list[FileCheck] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    #: True when produced by :meth:`ResultStore.repair` (files were rewritten).
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems and all(check.clean for check in self.files)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        action = "repaired" if self.repaired else "verified"
+        lines = [f"store {self.root}: {action}, {'clean' if self.clean else 'problems found'}"]
+        for check in self.files:
+            status = []
+            if check.corrupt_lines:
+                status.append(
+                    f"{len(check.corrupt_lines)} corrupt line(s) at "
+                    + ", ".join(str(n) for n in check.corrupt_lines[:5])
+                    + ("..." if len(check.corrupt_lines) > 5 else "")
+                )
+            if check.torn_tail:
+                status.append("torn trailing line")
+            detail = "; ".join(status) if status else "clean"
+            lines.append(f"  {check.path}: {check.records} record(s), {detail}")
+        for problem in self.problems:
+            lines.append(f"  problem: {problem}")
+        return "\n".join(lines)
+
+
 class ResultStore:
     """Append-only, per-system JSONL storage for injection records."""
 
@@ -72,12 +140,17 @@ class ResultStore:
         #: One cached append-mode handle per system; opening implies the
         #: file's torn tail (if any) has been repaired.
         self._handles: dict[str, Any] = {}
+        #: Cached append handle for ``quarantine.jsonl`` (shared by systems).
+        self._quarantine_handle: Any = None
         #: Cached system-key -> file-name index (``systems.json``).
         self._systems_index: dict[str, str] | None = None
 
     def close(self) -> None:
         """Close every cached append handle (appending later reopens them)."""
         handles, self._handles = self._handles, {}
+        quarantine, self._quarantine_handle = self._quarantine_handle, None
+        if quarantine is not None:
+            handles["\x00quarantine"] = quarantine
         for handle in handles.values():
             try:
                 handle.close()
@@ -210,7 +283,15 @@ class ResultStore:
         campaign appends thousands of records; open/close per record costs
         more than the write).  First open also repairs a torn tail and
         registers the system key in ``systems.json``.
+
+        Records stamped ``metadata["quarantined"]`` by the fault-tolerance
+        layer are routed to ``quarantine.jsonl`` instead of the system's
+        record file: they describe harness faults, not experiment outcomes,
+        and the main stream must stay byte-comparable to a fault-free run.
         """
+        if record.metadata.get("quarantined"):
+            self._append_quarantined(system, campaign, record)
+            return
         handle = self._handles.get(system)
         if handle is None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -290,6 +371,90 @@ class ResultStore:
         """``(campaign, scenario_id)`` pairs already on disk for one system."""
         return {(campaign, record.scenario_id) for campaign, record in self.iter_records(system)}
 
+    # --------------------------------------------------------------- quarantine
+    @property
+    def quarantine_path(self) -> Path:
+        return self.root / QUARANTINE_NAME
+
+    def _append_quarantined(self, system: str, campaign: str, record: InjectionRecord) -> None:
+        if self._quarantine_handle is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._truncate_torn_tail(self.quarantine_path)
+            self._quarantine_handle = open(self.quarantine_path, "ab")
+        line = json.dumps({"system": system, "campaign": campaign, "record": record.to_dict()})
+        self._quarantine_handle.write(line.encode("utf-8") + b"\n")
+        self._quarantine_handle.flush()
+
+    def iter_quarantined(
+        self, system: str | None = None
+    ) -> Iterator[tuple[str, str, InjectionRecord]]:
+        """Yield ``(system, campaign, record)`` from the quarantine manifest.
+
+        Same torn-tail tolerance as :meth:`iter_records`: a torn final line
+        is skipped, a corrupt interior line raises.
+        """
+        path = self.quarantine_path
+        if not path.is_file():
+            return
+        pending: tuple[int, Exception] | None = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, start=1):
+                if pending is not None:
+                    corrupt_number, exc = pending
+                    raise StoreError(
+                        f"corrupt record at {path}:{corrupt_number}: {exc}"
+                    ) from exc
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    record = InjectionRecord.from_dict(entry["record"])
+                    entry_system = str(entry["system"])
+                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                    pending = (number, exc)
+                    continue
+                if system is None or entry_system == system:
+                    yield entry_system, str(entry.get("campaign", "")), record
+
+    def quarantined_ids(self, system: str) -> set[tuple[str, str]]:
+        """``(campaign, scenario_id)`` pairs quarantined for one system."""
+        return {
+            (campaign, record.scenario_id)
+            for _, campaign, record in self.iter_quarantined(system)
+        }
+
+    def clear_quarantine(self, system: str | None = None) -> int:
+        """Drop quarantine entries (all, or one system's) so a resume retries them.
+
+        Returns the number of entries removed.  The manifest is compacted
+        in place via an atomic replace; an empty result removes the file.
+        """
+        if self._quarantine_handle is not None:
+            self._quarantine_handle.close()
+            self._quarantine_handle = None
+        path = self.quarantine_path
+        if not path.is_file():
+            return 0
+        kept: list[str] = []
+        dropped = 0
+        for entry_system, campaign, record in self.iter_quarantined():
+            if system is not None and entry_system != system:
+                kept.append(
+                    json.dumps(
+                        {"system": entry_system, "campaign": campaign, "record": record.to_dict()}
+                    )
+                )
+            else:
+                dropped += 1
+        if kept:
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text("\n".join(kept) + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        else:
+            path.unlink()
+        return dropped
+
     # ------------------------------------------------------------- systems index
     def _load_systems_index(self) -> dict[str, str]:
         """The ``systems.json`` key -> file-name index (cached; {} when absent).
@@ -344,7 +509,7 @@ class ResultStore:
         legacy = sorted(
             path.stem
             for path in self.root.glob("*.jsonl")
-            if path.name not in indexed_files
+            if path.name not in indexed_files and path.name != QUARANTINE_NAME
         )
         return sorted(index) + legacy
 
@@ -387,5 +552,216 @@ class ResultStore:
                 profile.extend(campaign_profile.records)
         return merged
 
+    # ------------------------------------------------------------ verify/repair
+    def _record_files(self) -> list[tuple[str, Path]]:
+        """Every JSONL file worth checking: per-system files + quarantine."""
+        files: list[tuple[str, Path]] = []
+        seen: set[str] = set()
+        for system in self.systems():
+            path = self.path_for(system)
+            if path.is_file() and path.name not in seen:
+                seen.add(path.name)
+                files.append((system, path))
+        for path in sorted(self.root.glob("*.jsonl")):
+            if path.name not in seen and path.name != QUARANTINE_NAME:
+                seen.add(path.name)
+                files.append((path.stem, path))
+        if self.quarantine_path.is_file():
+            files.append(("<quarantine>", self.quarantine_path))
+        return files
+
+    @staticmethod
+    def _classify_lines(path: Path, quarantine: bool) -> tuple[int, list[int], bool]:
+        """Scan one JSONL file: ``(records, corrupt interior lines, torn tail)``.
+
+        Mirrors :meth:`iter_records`'s verdict rule: an unreadable line is a
+        *torn tail* only when nothing follows it; any unreadable line with a
+        successor is corrupt interior.
+        """
+        records = 0
+        corrupt: list[int] = []
+        pending: int | None = None
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, start=1):
+                if pending is not None:
+                    corrupt.append(pending)
+                    pending = None
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    InjectionRecord.from_dict(entry["record"])
+                    if quarantine:
+                        str(entry["system"])
+                except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                    pending = number
+                    continue
+                records += 1
+        return records, corrupt, pending is not None
+
+    def verify(self) -> StoreReport:
+        """Scan the whole store without modifying it.
+
+        Classifies, per file, readable records, corrupt interior lines and a
+        torn trailing line (the one write a crash can tear), and checks the
+        manifest and ``systems.json`` index are loadable.  A clean report
+        means every ``--from-store`` reader will load the store without
+        error.
+        """
+        report = StoreReport(root=str(self.root))
+        try:
+            if self.exists():
+                self.read_manifest()
+            else:
+                report.problems.append(f"no manifest ({_MANIFEST_NAME} missing)")
+        except StoreError as exc:
+            report.problems.append(str(exc))
+        index = self._load_systems_index()
+        for system, filename in sorted(index.items()):
+            if not (self.root / filename).is_file() and not self._handles.get(system):
+                report.problems.append(
+                    f"systems.json lists {system!r} -> {filename} but the file is missing"
+                )
+        for system, path in self._record_files():
+            records, corrupt, torn = self._classify_lines(
+                path, quarantine=path.name == QUARANTINE_NAME
+            )
+            report.files.append(
+                FileCheck(
+                    system=system,
+                    path=path.name,
+                    records=records,
+                    corrupt_lines=corrupt,
+                    torn_tail=torn,
+                )
+            )
+        return report
+
+    def repair(self) -> StoreReport:
+        """Quarantine unreadable lines so every reader loads what is left.
+
+        Corrupt interior lines and torn tails are moved -- verbatim -- to a
+        ``<file>.jsonl.corrupt`` sidecar next to the file (never silently
+        deleted: an operator can inspect what was lost), the record file is
+        rewritten atomically with only its readable lines, and the
+        ``systems.json`` index is rebuilt from the manifest and the files
+        that actually exist.  Returns the report of what was moved; a second
+        :meth:`verify` afterwards reports clean.
+        """
+        self.close()
+        report = StoreReport(root=str(self.root), repaired=True)
+        for system, path in self._record_files():
+            records, corrupt, torn = self._classify_lines(
+                path, quarantine=path.name == QUARANTINE_NAME
+            )
+            check = FileCheck(
+                system=system,
+                path=path.name,
+                records=records,
+                corrupt_lines=corrupt,
+                torn_tail=torn,
+            )
+            report.files.append(check)
+            if check.clean:
+                continue
+            bad_numbers = set(corrupt)
+            sidecar = path.with_name(path.name + _CORRUPT_SUFFIX)
+            tmp = path.with_name(path.name + ".tmp")
+            with open(path, "r", encoding="utf-8") as source, open(
+                tmp, "w", encoding="utf-8"
+            ) as good, open(sidecar, "a", encoding="utf-8") as bad:
+                lines = source.readlines()
+                last_content = max(
+                    (i for i, raw in enumerate(lines, start=1) if raw.strip()), default=0
+                )
+                for number, raw in enumerate(lines, start=1):
+                    is_torn = torn and number == last_content
+                    if number in bad_numbers or is_torn:
+                        bad.write(raw if raw.endswith("\n") else raw + "\n")
+                    else:
+                        good.write(raw)
+            os.replace(tmp, path)
+        self._rebuild_systems_index()
+        return report
+
+    def _rebuild_systems_index(self) -> None:
+        """Regenerate ``systems.json`` from the manifest and the files on disk."""
+        index: dict[str, str] = {}
+        manifest_systems: list[str] = []
+        if self.exists():
+            try:
+                recorded = self.read_manifest().get("systems")
+                if isinstance(recorded, Mapping):
+                    manifest_systems = list(recorded)
+            except StoreError:
+                pass
+        stale = self._load_systems_index()
+        for system in (*manifest_systems, *sorted(stale)):
+            filename = filename_for(system)
+            if (self.root / filename).is_file():
+                index.setdefault(system, filename)
+        covered = set(index.values())
+        for path in sorted(self.root.glob("*.jsonl")):
+            if path.name not in covered and path.name != QUARANTINE_NAME:
+                index.setdefault(path.stem, path.name)
+        self._systems_index = index
+        (self.root / _SYSTEMS_INDEX_NAME).write_text(
+            json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r})"
+
+
+def diff_stores(
+    left: "ResultStore",
+    right: "ResultStore",
+    *,
+    ignore_quarantined: bool = True,
+    ignore_fields: tuple[str, ...] = ("duration_seconds",),
+) -> list[str]:
+    """Content differences between two stores' record streams.
+
+    The acceptance check behind chaos runs: every record a faulted run
+    *did* produce must match the fault-free run's, field for field except
+    wall-clock durations.  With ``ignore_quarantined`` (the default),
+    scenarios quarantined in either store are exempt -- those are exactly
+    the ones the fault layer gave up on.  Returns human-readable
+    difference strings; an empty list means the stores agree.
+    """
+    diffs: list[str] = []
+    systems = sorted(set(left.systems()) | set(right.systems()))
+    for system in systems:
+        exempt: set[tuple[str, str]] = set()
+        if ignore_quarantined:
+            exempt = left.quarantined_ids(system) | right.quarantined_ids(system)
+
+        def load(store: "ResultStore") -> dict[tuple[str, str], dict]:
+            loaded: dict[tuple[str, str], dict] = {}
+            for campaign, record in store.iter_records(system):
+                key = (campaign, record.scenario_id)
+                if key in exempt:
+                    continue
+                entry = record.to_dict()
+                for fieldname in ignore_fields:
+                    entry.pop(fieldname, None)
+                loaded[key] = entry
+            return loaded
+
+        left_records, right_records = load(left), load(right)
+        for key in sorted(set(left_records) | set(right_records)):
+            campaign, scenario_id = key
+            where = f"{system}/{campaign}/{scenario_id}"
+            if key not in left_records:
+                diffs.append(f"{where}: only in {right.root}")
+            elif key not in right_records:
+                diffs.append(f"{where}: only in {left.root}")
+            elif left_records[key] != right_records[key]:
+                changed = sorted(
+                    name
+                    for name in set(left_records[key]) | set(right_records[key])
+                    if left_records[key].get(name) != right_records[key].get(name)
+                )
+                diffs.append(f"{where}: fields differ: {', '.join(changed)}")
+    return diffs

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.campaign import Campaign
+from repro.core.faults import FaultPolicy
 from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.core.report import resilience_matrix_table, typo_resilience_table
 from repro.core.spec import ExperimentSpec, derive_seed
@@ -133,6 +134,14 @@ class CampaignSuite:
         spelling plugin itself carries the layout used for generation).
     jobs / executor / block_size:
         Worker fan-out per campaign, as in :class:`~repro.core.campaign.Campaign`.
+    policy:
+        Optional :class:`~repro.core.faults.FaultPolicy` opting every
+        campaign into the fault-tolerance layer.  Scenarios it gives up on
+        land in the store's ``quarantine.jsonl``, not the record stream.
+    retry_quarantined:
+        What a resume does with previously quarantined scenarios: False
+        (default) keeps skipping them, True drops their quarantine entries
+        and re-attempts them.
     spec:
         Optional :class:`~repro.core.spec.ExperimentSpec` this suite was
         built from; when present it is embedded in the store manifest so
@@ -156,6 +165,8 @@ class CampaignSuite:
         jobs: int = 1,
         executor: str | None = None,
         block_size: int | None = None,
+        policy: FaultPolicy | None = None,
+        retry_quarantined: bool = False,
         check_baseline: bool = True,
         spec: ExperimentSpec | None = None,
         record_observer: Callable[[str, str, InjectionRecord], None] | None = None,
@@ -177,6 +188,8 @@ class CampaignSuite:
         self.jobs = jobs
         self.executor = executor
         self.block_size = block_size
+        self.policy = policy
+        self.retry_quarantined = retry_quarantined
         self.check_baseline = check_baseline
         self.spec = spec
         self.record_observer = record_observer
@@ -201,6 +214,8 @@ class CampaignSuite:
             jobs=spec.execution.jobs,
             executor=spec.execution.executor,
             block_size=spec.execution.block_size,
+            policy=FaultPolicy.from_execution(spec.execution),
+            retry_quarantined=spec.store.retry_quarantined if spec.store else False,
             spec=spec,
             record_observer=record_observer,
         )
@@ -285,6 +300,15 @@ class CampaignSuite:
                 for campaign_name, record in store.iter_records(system_key):
                     prior.setdefault(campaign_name, []).append(record)
                     completed.add((campaign_name, record.scenario_id))
+                if self.retry_quarantined:
+                    # drop the quarantine entries so the filter below lets
+                    # the scenarios run again (and re-quarantine on failure)
+                    store.clear_quarantine(system_key)
+                else:
+                    # quarantined scenarios count as handled: re-running a
+                    # scenario that hung or killed its worker every resume
+                    # would make the store unfinishable
+                    completed |= store.quarantined_ids(system_key)
 
             campaign = Campaign(
                 factory,
@@ -294,6 +318,7 @@ class CampaignSuite:
                 jobs=self.jobs,
                 executor=self.executor,
                 block_size=self.block_size,
+                policy=self.policy,
                 seed_for=lambda plugin, _index, key=system_key: self.campaign_seed(
                     key, plugin.name
                 ),

@@ -20,6 +20,15 @@ provides:
 """
 
 from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest, TestResult
+from repro.sut.chaos import ChaosFactory, ChaosSUT
 from repro.sut.latency import LatencySUT
 
-__all__ = ["SystemUnderTest", "StartResult", "FunctionalTest", "TestResult", "LatencySUT"]
+__all__ = [
+    "SystemUnderTest",
+    "StartResult",
+    "FunctionalTest",
+    "TestResult",
+    "LatencySUT",
+    "ChaosSUT",
+    "ChaosFactory",
+]

@@ -1,0 +1,204 @@
+"""ChaosSUT: deterministic fault injection into the harness itself.
+
+The paper's method -- inject faults, observe whether the system degrades or
+dies -- applied reflexively: wrapping a system under test in
+:class:`ChaosSUT` makes a seeded, configurable fraction of injection
+experiments *hang*, *crash their worker*, or *raise* mid-``start()``.  This
+is how the fault-tolerance layer (:mod:`repro.core.faults`) is itself
+profiled, in unit tests and in the CI chaos suite.
+
+Fates are a pure function of ``(seed, configuration file contents)``: the
+same scenario draws the same fate under every executor strategy, worker
+count, retry and resumed run.  That determinism is what the acceptance
+criteria lean on -- a scenario that crashes its worker crashes every
+isolated re-attempt too, so blame attribution is exact, and a scenario that
+does not fault produces a record byte-identical to a fault-free run's.
+
+The pristine configuration is always exempt: baseline checks and worker
+context setup must never draw a fate, or every worker would die during
+initialisation before reaching a single scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.faults import WorkerCrashed
+from repro.errors import ConfErrError
+from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest
+
+__all__ = ["ChaosSUT", "ChaosFactory", "CRASH_EXIT_CODE"]
+
+#: Exit status a chaos crash kills its worker process with; distinctive on
+#: purpose, so an unexpected dead worker in CI logs is attributable.
+CRASH_EXIT_CODE = 23
+
+#: The three injected fates (plus implicit "none").
+_FATES = ("hang", "crash", "error")
+
+
+def _validate_fraction(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfErrError(f"chaos {name} must be within [0, 1], got {value}")
+    return value
+
+
+class ChaosSUT(SystemUnderTest):
+    """Wrap a SUT so a seeded fraction of its starts hang, crash, or raise.
+
+    ``hang_fraction`` of non-pristine configurations make ``start()`` sleep
+    for ``hang_seconds`` before proceeding (a slow SUT, recoverable only by
+    a watchdog); ``crash_fraction`` kill the worker outright (``os._exit``
+    in a process-pool worker, :class:`~repro.core.faults.WorkerCrashed`
+    elsewhere); ``error_fraction`` raise a plain ``RuntimeError``, which the
+    engine's existing guards absorb as a non-quarantined harness error.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTest,
+        *,
+        hang_fraction: float = 0.0,
+        crash_fraction: float = 0.0,
+        error_fraction: float = 0.0,
+        seed: int = 0,
+        hang_seconds: float = 3600.0,
+    ):
+        self.inner = inner
+        self.name = inner.name
+        self.hang_fraction = _validate_fraction("hang_fraction", hang_fraction)
+        self.crash_fraction = _validate_fraction("crash_fraction", crash_fraction)
+        self.error_fraction = _validate_fraction("error_fraction", error_fraction)
+        total = self.hang_fraction + self.crash_fraction + self.error_fraction
+        if total > 1.0:
+            raise ConfErrError(f"chaos fractions must sum to at most 1, got {total}")
+        self.seed = int(seed)
+        if hang_seconds <= 0:
+            raise ConfErrError(f"chaos hang_seconds must be positive, got {hang_seconds}")
+        self.hang_seconds = float(hang_seconds)
+        self._pristine = dict(inner.default_configuration())
+
+    # ------------------------------------------------------------------ fates
+    def fate_for(self, files: Mapping[str, str]) -> str:
+        """The fate ("hang"/"crash"/"error"/"none") these files draw.
+
+        A uniform draw in [0, 1) is derived from the sha256 of the seed and
+        the canonically-serialised file contents, then mapped onto the
+        configured fraction bands in :data:`_FATES` order.  The pristine
+        configuration always draws "none".
+        """
+        files = dict(files)
+        if files == self._pristine:
+            return "none"
+        canonical = json.dumps(sorted(files.items()), ensure_ascii=True)
+        digest = hashlib.sha256(f"{self.seed}:{canonical}".encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        threshold = 0.0
+        for fate, fraction in zip(
+            _FATES, (self.hang_fraction, self.crash_fraction, self.error_fraction)
+        ):
+            threshold += fraction
+            if draw < threshold:
+                return fate
+        return "none"
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self, files: Mapping[str, str]) -> StartResult:
+        fate = self.fate_for(files)
+        if fate == "hang":
+            # a slow SUT, not a dead one: proceeds normally once the stall
+            # ends, so only a watchdog deadline turns this into a fault
+            time.sleep(self.hang_seconds)
+        elif fate == "crash":
+            if multiprocessing.parent_process() is not None:
+                # genuine worker death: only a process-pool worker can be
+                # killed without taking the whole campaign down with it
+                os._exit(CRASH_EXIT_CODE)
+            raise WorkerCrashed(f"chaos: simulated worker crash ({self.name})")
+        elif fate == "error":
+            raise RuntimeError(f"chaos: injected start() failure ({self.name})")
+        return self.inner.start(files)
+
+    # ------------------------------------------------------------- delegation
+    def default_configuration(self) -> dict[str, str]:
+        return self.inner.default_configuration()
+
+    def dialect_for(self, filename: str) -> str:
+        return self.inner.dialect_for(filename)
+
+    def stop(self) -> None:
+        self.inner.stop()
+
+    def functional_tests(self) -> list[FunctionalTest]:
+        return self.inner.functional_tests()
+
+    def is_running(self) -> bool:
+        return self.inner.is_running()
+
+    def __getattr__(self, name: str):
+        # Functional tests call system-specific probes (connect, http_get,
+        # resolve, ...) on whatever SUT the engine hands them; forward
+        # anything the wrapper does not model to the real system.
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosSUT({self.inner!r}, hang={self.hang_fraction}, "
+            f"crash={self.crash_fraction}, error={self.error_fraction}, "
+            f"seed={self.seed})"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosFactory:
+    """Picklable SUT factory wrapping another factory in :class:`ChaosSUT`.
+
+    Process-pool workers rebuild their SUT from the campaign's factory, so
+    chaos wrapping must survive a pickle round-trip; a frozen dataclass of
+    plain values does, where a lambda would not.
+    """
+
+    inner_factory: Callable[[], SystemUnderTest]
+    hang_fraction: float = 0.0
+    crash_fraction: float = 0.0
+    error_fraction: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 3600.0
+
+    def __call__(self) -> ChaosSUT:
+        return ChaosSUT(
+            self.inner_factory(),
+            hang_fraction=self.hang_fraction,
+            crash_fraction=self.crash_fraction,
+            error_fraction=self.error_fraction,
+            seed=self.seed,
+            hang_seconds=self.hang_seconds,
+        )
+
+    @classmethod
+    def from_params(
+        cls, inner_factory: Callable[[], SystemUnderTest], params: Mapping
+    ) -> "ChaosFactory":
+        """Build from a spec-style parameter mapping (``[systems.chaos]``)."""
+        allowed = {
+            "hang_fraction",
+            "crash_fraction",
+            "error_fraction",
+            "seed",
+            "hang_seconds",
+        }
+        unknown = set(params) - allowed
+        if unknown:
+            raise ConfErrError(
+                f"unknown chaos parameter(s): {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return cls(inner_factory, **dict(params))

@@ -364,3 +364,87 @@ class TestSpecDiffing:
         store.write_manifest(manifest)
         with pytest.raises(StoreError, match="kind"):
             store.check_compatible({"kind": "suite", "seed": 3, "spec": spec.to_dict()})
+
+
+class TestFaultToleranceKnobs:
+    def test_fault_knobs_round_trip_and_default_off(self):
+        spec = spec_for(
+            "mysql",
+            "spelling",
+            timeout_seconds=30.0,
+            max_retries=1,
+            retry_backoff_seconds=0.5,
+        )
+        spec.validate()
+        data = spec.to_dict()
+        assert data["execution"]["timeout_seconds"] == 30.0
+        assert ExperimentSpec.from_dict(data) == spec
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+        # absent when unset, so pre-existing specs serialize unchanged
+        plain = spec_for("mysql", "spelling").to_dict()["execution"]
+        for key in ("timeout_seconds", "max_retries", "retry_backoff_seconds"):
+            assert key not in plain
+
+    def test_fault_knobs_validated(self):
+        with pytest.raises(SpecError, match=r"execution.timeout_seconds"):
+            spec_for("mysql", "spelling", timeout_seconds=0).validate()
+        with pytest.raises(SpecError, match=r"execution.max_retries"):
+            spec_for("mysql", "spelling", max_retries=-1).validate()
+        with pytest.raises(SpecError, match=r"execution.retry_backoff_seconds"):
+            spec_for("mysql", "spelling", retry_backoff_seconds=-0.1).validate()
+
+    def test_fault_knobs_do_not_block_resume(self):
+        from repro.core.spec import diff_spec_dicts
+
+        base = spec_for("postgres", "spelling", seed=3).to_dict()
+        tolerant = spec_for(
+            "postgres", "spelling", seed=3, timeout_seconds=60, max_retries=3
+        ).to_dict()
+        assert diff_spec_dicts(base, tolerant) == []
+
+    def test_from_execution_builds_policy_only_when_asked(self):
+        from repro.core.faults import FaultPolicy
+
+        off = spec_for("mysql", "spelling").execution
+        assert FaultPolicy.from_execution(off) is None
+        on = spec_for("mysql", "spelling", seed=5, timeout_seconds=30).execution
+        policy = FaultPolicy.from_execution(on)
+        assert policy.timeout_seconds == 30.0
+        assert policy.backoff_seed == 5
+
+
+class TestChaosTable:
+    def chaos_spec(self, **chaos) -> ExperimentSpec:
+        return ExperimentSpec(
+            systems=(SystemSpec("mysql", chaos=chaos),),
+            plugins=(PluginSpec("spelling"),),
+        )
+
+    def test_chaos_round_trips_through_toml(self):
+        spec = self.chaos_spec(hang_fraction=0.1, crash_fraction=0.1, seed=9)
+        spec.validate()
+        toml_text = spec.to_toml()
+        assert "[systems.chaos]" in toml_text
+        assert ExperimentSpec.from_toml(toml_text) == spec
+
+    def test_chaos_fractions_validated_with_exact_path(self):
+        with pytest.raises(SpecError, match=r"systems\[0\].chaos.hang_fraction"):
+            self.chaos_spec(hang_fraction=1.5).validate()
+        with pytest.raises(SpecError, match=r"systems\[0\].chaos"):
+            self.chaos_spec(hang_fraction=0.6, crash_fraction=0.6).validate()
+        with pytest.raises(SpecError, match=r"systems\[0\].chaos"):
+            self.chaos_spec(explode_fraction=0.5).validate()
+
+    def test_build_systems_wraps_in_chaos_factory(self):
+        from repro.sut.chaos import ChaosSUT
+
+        systems = self.chaos_spec(crash_fraction=0.1, seed=4).build_systems()
+        sut = systems["mysql"]()
+        assert isinstance(sut, ChaosSUT)
+        assert sut.crash_fraction == 0.1 and sut.seed == 4
+
+    def test_without_chaos_factories_are_untouched(self):
+        systems = spec_for("mysql", "spelling").build_systems()
+        from repro.sut.chaos import ChaosSUT
+
+        assert not isinstance(systems["mysql"](), ChaosSUT)

@@ -1,0 +1,226 @@
+"""Store maintenance: quarantine routing, verify/repair, diff_stores."""
+
+import json
+
+import pytest
+
+from repro.core.profile import InjectionOutcome, InjectionRecord
+from repro.core.store import QUARANTINE_NAME, ResultStore, diff_stores
+from repro.errors import StoreError
+
+
+def record(scenario_id, outcome=InjectionOutcome.IGNORED, **metadata):
+    return InjectionRecord(
+        scenario_id=scenario_id,
+        category="typo-omission",
+        description=f"record {scenario_id}",
+        outcome=outcome,
+        metadata=metadata,
+    )
+
+
+def quarantined(scenario_id):
+    return record(
+        scenario_id,
+        outcome=InjectionOutcome.HARNESS_ERROR,
+        harness_fault="worker-crash",
+        quarantined=True,
+    )
+
+
+MANIFEST = {
+    "kind": "suite",
+    "seed": 7,
+    "systems": {"mysql": "MySQL"},
+    "plugins": [{"name": "spelling", "params": {}}],
+    "layout": None,
+}
+
+
+class TestQuarantineRouting:
+    def test_quarantined_records_go_to_the_sidecar_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("mysql", "spelling", record("s1"))
+        store.append("mysql", "spelling", quarantined("s2"))
+        store.close()
+        assert (tmp_path / QUARANTINE_NAME).is_file()
+        main = [r.scenario_id for _, r in store.iter_records("mysql")]
+        assert main == ["s1"]
+        entries = list(store.iter_quarantined())
+        assert [(s, c, r.scenario_id) for s, c, r in entries] == [
+            ("mysql", "spelling", "s2")
+        ]
+        assert store.quarantined_ids("mysql") == {("spelling", "s2")}
+
+    def test_quarantine_file_is_not_listed_as_a_system(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", quarantined("s1"))
+        store.close()
+        assert store.systems() == ["mysql"]
+
+    def test_clear_quarantine_for_one_system(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("mysql", "spelling", quarantined("s1"))
+        store.append("postgres", "spelling", quarantined("s2"))
+        store.close()
+        assert store.clear_quarantine("mysql") == 1
+        assert store.quarantined_ids("mysql") == set()
+        assert store.quarantined_ids("postgres") == {("spelling", "s2")}
+        # clearing the remainder removes the now-empty file
+        assert store.clear_quarantine() == 1
+        assert not (tmp_path / QUARANTINE_NAME).exists()
+
+
+class TestVerify:
+    def test_clean_store_verifies_clean(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.close()
+        report = store.verify()
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_missing_manifest_is_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append("mysql", "spelling", record("s1"))
+        store.close()
+        report = store.verify()
+        assert not report.clean
+        assert any("manifest" in problem for problem in report.problems)
+
+    def test_torn_tail_is_distinguished_from_corrupt_interior(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.append("mysql", "spelling", record("s2"))
+        store.close()
+        path = store.path_for("mysql")
+        # tear the tail: a crash mid-write leaves a partial final line
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"partial')
+        report = store.verify()
+        (check,) = [c for c in report.files if c.system == "mysql"]
+        assert check.torn_tail and not check.corrupt_lines
+        assert check.records == 2
+        # now corrupt an interior line instead
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = "garbage not json"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        report = store.verify()
+        (check,) = [c for c in report.files if c.system == "mysql"]
+        assert 1 in check.corrupt_lines
+
+    def test_index_pointing_at_missing_file_is_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.close()
+        (tmp_path / "systems.json").write_text(
+            json.dumps({"mysql": "mysql.jsonl", "ghost": "ghost.jsonl"}),
+            encoding="utf-8",
+        )
+        report = ResultStore(tmp_path).verify()
+        assert any("ghost" in problem for problem in report.problems)
+
+
+class TestRepair:
+    def _torn_and_corrupt_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        for sid in ("s1", "s2", "s3"):
+            store.append("mysql", "spelling", record(sid))
+        store.close()
+        path = store.path_for("mysql")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "corrupt interior line"
+        path.write_text("\n".join(lines) + "\n" + '{"torn', encoding="utf-8")
+        return store, path
+
+    def test_repair_quarantines_bad_lines_and_rereads_clean(self, tmp_path):
+        store, path = self._torn_and_corrupt_store(tmp_path)
+        # before repair, iterating raises on the corrupt interior line
+        with pytest.raises(StoreError):
+            list(store.iter_records("mysql"))
+        report = store.repair()
+        assert report.repaired
+        # the good records survived, in order
+        survivors = [r.scenario_id for _, r in store.iter_records("mysql")]
+        assert survivors == ["s1", "s3"]
+        # the bad lines moved verbatim to the sidecar, never deleted
+        sidecar = path.with_name(path.name + ".corrupt").read_text(encoding="utf-8")
+        assert "corrupt interior line" in sidecar
+        assert '{"torn' in sidecar
+        assert ResultStore(tmp_path).verify().clean
+
+    def test_repair_rebuilds_the_systems_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.close()
+        (tmp_path / "systems.json").write_text(
+            json.dumps({"mysql": "mysql.jsonl", "ghost": "ghost.jsonl"}),
+            encoding="utf-8",
+        )
+        fresh = ResultStore(tmp_path)
+        fresh.repair()
+        index = json.loads((tmp_path / "systems.json").read_text(encoding="utf-8"))
+        assert index == {"mysql": "mysql.jsonl"}
+        assert fresh.verify().clean
+
+    def test_repair_on_clean_store_is_a_no_op(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.close()
+        before = store.path_for("mysql").read_text(encoding="utf-8")
+        store.repair()
+        assert store.path_for("mysql").read_text(encoding="utf-8") == before
+        assert not store.path_for("mysql").with_name("mysql.jsonl.corrupt").exists()
+
+
+class TestDiffStores:
+    def _store(self, root, records, quarantine=()):
+        store = ResultStore(root)
+        store.write_manifest(MANIFEST)
+        for rec in records:
+            store.append("mysql", "spelling", rec)
+        for rec in quarantine:
+            store.append("mysql", "spelling", rec)
+        store.close()
+        return store
+
+    def test_identical_stores_diff_empty(self, tmp_path):
+        a = self._store(tmp_path / "a", [record("s1"), record("s2")])
+        b = self._store(tmp_path / "b", [record("s1"), record("s2")])
+        assert diff_stores(a, b) == []
+
+    def test_durations_are_ignored_by_default(self, tmp_path):
+        slow = record("s1")
+        slow.duration_seconds = 99.5
+        a = self._store(tmp_path / "a", [slow])
+        b = self._store(tmp_path / "b", [record("s1")])
+        assert diff_stores(a, b) == []
+        assert diff_stores(a, b, ignore_fields=()) != []
+
+    def test_missing_and_differing_records_are_named(self, tmp_path):
+        a = self._store(tmp_path / "a", [record("s1"), record("s2")])
+        b = self._store(
+            tmp_path / "b",
+            [record("s1", outcome=InjectionOutcome.DETECTED_BY_TESTS)],
+        )
+        differences = diff_stores(a, b)
+        assert any("s2" in d and "only in" in d for d in differences)
+        assert any("s1" in d for d in differences)
+
+    def test_quarantined_scenarios_are_exempt(self, tmp_path):
+        a = self._store(
+            tmp_path / "a", [record("s1")], quarantine=[quarantined("s2")]
+        )
+        b = self._store(tmp_path / "b", [record("s1"), record("s2")])
+        # s2 was quarantined in a and ran normally in b: not a difference
+        # (the chaos CI diff leans on exactly this exemption)
+        assert diff_stores(a, b) == []
+        with_quarantine = diff_stores(a, b, ignore_quarantined=False)
+        assert any("s2" in d for d in with_quarantine)

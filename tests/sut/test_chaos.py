@@ -1,0 +1,144 @@
+"""ChaosSUT: deterministic fates, pristine exemption, delegation, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.core.faults import WorkerCrashed
+from repro.errors import ConfErrError
+from repro.registry import get_system
+from repro.sut.chaos import ChaosFactory, ChaosSUT
+from repro.sut.mysql import SimulatedMySQL
+
+
+def make_chaos(**kwargs):
+    defaults = dict(hang_fraction=0.2, crash_fraction=0.2, error_fraction=0.2, seed=1)
+    defaults.update(kwargs)
+    return ChaosSUT(SimulatedMySQL(), **defaults)
+
+
+def mutated(files, value="chaos-test"):
+    files = dict(files)
+    first = next(iter(files))
+    files[first] = files[first] + f"\n# {value}\n"
+    return files
+
+
+class TestValidation:
+    def test_rejects_out_of_range_fractions(self):
+        with pytest.raises(ConfErrError, match=r"within \[0, 1\]"):
+            make_chaos(hang_fraction=1.5)
+        with pytest.raises(ConfErrError, match=r"within \[0, 1\]"):
+            make_chaos(crash_fraction=-0.1)
+
+    def test_rejects_fractions_summing_past_one(self):
+        with pytest.raises(ConfErrError, match="sum to at most 1"):
+            make_chaos(hang_fraction=0.5, crash_fraction=0.4, error_fraction=0.2)
+
+    def test_rejects_nonpositive_hang_seconds(self):
+        with pytest.raises(ConfErrError, match="hang_seconds"):
+            make_chaos(hang_seconds=0)
+
+
+class TestFates:
+    def test_pristine_configuration_is_always_exempt(self):
+        chaos = make_chaos(hang_fraction=0.4, crash_fraction=0.3, error_fraction=0.3)
+        assert chaos.fate_for(chaos.default_configuration()) == "none"
+
+    def test_fates_are_deterministic(self):
+        files = mutated(SimulatedMySQL().default_configuration())
+        assert make_chaos().fate_for(files) == make_chaos().fate_for(files)
+
+    def test_fates_depend_on_seed_and_contents(self):
+        base = SimulatedMySQL().default_configuration()
+        chaos = make_chaos(
+            hang_fraction=0.33, crash_fraction=0.33, error_fraction=0.33
+        )
+        fates = {
+            chaos.fate_for(mutated(base, f"variant {n}")) for n in range(30)
+        }
+        assert len(fates) > 1  # contents shift the draw
+        other_seed = make_chaos(
+            hang_fraction=0.33, crash_fraction=0.33, error_fraction=0.33, seed=99
+        )
+        files = mutated(base)
+        draws = {s.fate_for(files) for s in (chaos, other_seed)}
+        # not guaranteed distinct for one sample, but the distribution is:
+        assert any(
+            chaos.fate_for(mutated(base, f"v{n}"))
+            != other_seed.fate_for(mutated(base, f"v{n}"))
+            for n in range(30)
+        )
+        assert draws  # silence unused warning
+
+    def test_fraction_bands_cover_in_order(self):
+        base = SimulatedMySQL().default_configuration()
+        all_hang = make_chaos(hang_fraction=1.0, crash_fraction=0.0, error_fraction=0.0)
+        assert all_hang.fate_for(mutated(base)) == "hang"
+        all_error = make_chaos(hang_fraction=0.0, crash_fraction=0.0, error_fraction=1.0)
+        assert all_error.fate_for(mutated(base)) == "error"
+        none = make_chaos(hang_fraction=0.0, crash_fraction=0.0, error_fraction=0.0)
+        assert none.fate_for(mutated(base)) == "none"
+
+
+class TestStart:
+    def test_crash_fate_raises_worker_crashed_in_process(self):
+        chaos = make_chaos(hang_fraction=0.0, crash_fraction=1.0, error_fraction=0.0)
+        # in the main process (no multiprocessing parent) a crash is
+        # simulated by the BaseException, not a real os._exit
+        with pytest.raises(WorkerCrashed):
+            chaos.start(mutated(chaos.default_configuration()))
+
+    def test_error_fate_raises_runtime_error(self):
+        chaos = make_chaos(hang_fraction=0.0, crash_fraction=0.0, error_fraction=1.0)
+        with pytest.raises(RuntimeError, match="chaos: injected"):
+            chaos.start(mutated(chaos.default_configuration()))
+
+    def test_no_fate_starts_the_inner_sut(self):
+        chaos = make_chaos(hang_fraction=0.0, crash_fraction=0.0, error_fraction=0.0)
+        result = chaos.start(chaos.default_configuration())
+        assert result.started
+        assert chaos.is_running()
+        chaos.stop()
+        assert not chaos.is_running()
+
+
+class TestDelegation:
+    def test_wrapper_mirrors_the_inner_sut(self):
+        inner = SimulatedMySQL()
+        chaos = ChaosSUT(inner)
+        assert chaos.name == inner.name
+        assert chaos.default_configuration() == inner.default_configuration()
+        assert chaos.dialect_for("my.cnf") == inner.dialect_for("my.cnf")
+        assert [t.name for t in chaos.functional_tests()] == [
+            t.name for t in inner.functional_tests()
+        ]
+
+    def test_unknown_attributes_forward_to_inner(self):
+        chaos = ChaosSUT(SimulatedMySQL())
+        chaos.start(chaos.default_configuration())
+        # functional-test probes live on the inner SUT, not the wrapper
+        assert chaos.connect()
+        chaos.stop()
+
+
+class TestFactory:
+    def test_factory_survives_pickling(self):
+        factory = ChaosFactory(get_system("mysql"), crash_fraction=0.1, seed=4)
+        clone = pickle.loads(pickle.dumps(factory))
+        sut = clone()
+        assert isinstance(sut, ChaosSUT)
+        assert sut.crash_fraction == 0.1
+        assert sut.seed == 4
+
+    def test_from_params_rejects_unknown_keys(self):
+        with pytest.raises(ConfErrError, match="unknown chaos parameter"):
+            ChaosFactory.from_params(get_system("mysql"), {"explode_fraction": 1.0})
+
+    def test_from_params_builds_equivalent_factory(self):
+        factory = ChaosFactory.from_params(
+            get_system("mysql"), {"hang_fraction": 0.2, "seed": 9}
+        )
+        sut = factory()
+        assert sut.hang_fraction == 0.2
+        assert sut.seed == 9

@@ -1,0 +1,210 @@
+"""CLI robustness features: fault flags, ``conferr store``, interrupts."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.profile import InjectionOutcome, InjectionRecord
+from repro.core.store import ResultStore
+
+
+def record(scenario_id, outcome=InjectionOutcome.IGNORED, **metadata):
+    return InjectionRecord(
+        scenario_id=scenario_id,
+        category="typo-omission",
+        description=f"record {scenario_id}",
+        outcome=outcome,
+        metadata=metadata,
+    )
+
+
+MANIFEST = {
+    "kind": "suite",
+    "seed": 7,
+    "systems": {"mysql": "MySQL"},
+    "plugins": [{"name": "spelling", "params": {}}],
+    "layout": None,
+}
+
+
+def small_store(root, records=("s1", "s2")):
+    store = ResultStore(root)
+    store.write_manifest(MANIFEST)
+    for sid in records:
+        store.append("mysql", "spelling", record(sid))
+    store.close()
+    return store
+
+
+class TestFaultFlags:
+    def test_defaults_leave_fault_tolerance_off(self):
+        args = build_parser().parse_args(["run", "--system", "mysql"])
+        assert args.timeout_seconds is None
+        assert args.max_retries is None
+        assert args.retry_backoff_seconds is None
+
+    def test_flags_parse_on_every_campaign_command(self):
+        for command in (["run", "--system", "mysql"], ["suite"], ["table1"]):
+            args = build_parser().parse_args(
+                command
+                + [
+                    "--timeout-seconds",
+                    "30",
+                    "--max-retries",
+                    "0",
+                    "--retry-backoff-seconds",
+                    "0.5",
+                ]
+            )
+            assert args.timeout_seconds == 30.0
+            assert args.max_retries == 0
+            assert args.retry_backoff_seconds == 0.5
+
+    def test_invalid_values_are_rejected(self):
+        for flag, value in (
+            ("--timeout-seconds", "0"),
+            ("--timeout-seconds", "-1"),
+            ("--max-retries", "-1"),
+            ("--retry-backoff-seconds", "-0.5"),
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "--system", "mysql", flag, value])
+
+    def test_dump_spec_round_trips_fault_knobs(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--system",
+                    "mysql",
+                    "--timeout-seconds",
+                    "30",
+                    "--max-retries",
+                    "1",
+                    "--dump-spec",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "timeout_seconds = 30" in out
+        assert "max_retries = 1" in out
+
+    def test_retry_quarantined_is_a_suite_flag(self):
+        args = build_parser().parse_args(
+            ["suite", "--store", "x", "--resume", "--retry-quarantined"]
+        )
+        assert args.retry_quarantined is True
+
+
+class TestStoreVerify:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        small_store(tmp_path / "s")
+        assert main(["store", "verify", str(tmp_path / "s")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_problems_exit_nonzero(self, tmp_path, capsys):
+        store = small_store(tmp_path / "s")
+        path = store.path_for("mysql")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = "not json"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["store", "verify", str(tmp_path / "s")]) == 1
+        assert "corrupt line" in capsys.readouterr().out
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "verify", str(tmp_path / "absent")]) == 1
+        assert "not a result-store directory" in capsys.readouterr().err
+
+
+class TestStoreRepair:
+    def test_repair_then_verify_clean(self, tmp_path, capsys):
+        store = small_store(tmp_path / "s")
+        path = store.path_for("mysql")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = "not json"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["store", "repair", str(tmp_path / "s")]) == 0
+        assert "repaired" in capsys.readouterr().out
+        assert main(["store", "verify", str(tmp_path / "s")]) == 0
+
+
+class TestStoreDiff:
+    def test_matching_stores_exit_zero(self, tmp_path, capsys):
+        small_store(tmp_path / "a")
+        small_store(tmp_path / "b")
+        assert main(["store", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "stores match" in capsys.readouterr().out
+
+    def test_differing_stores_exit_nonzero_and_name_records(self, tmp_path, capsys):
+        small_store(tmp_path / "a", records=("s1", "s2"))
+        small_store(tmp_path / "b", records=("s1",))
+        assert main(["store", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "s2" in out and "difference" in out
+
+    def test_include_quarantined_flag(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "a")
+        store.write_manifest(MANIFEST)
+        store.append("mysql", "spelling", record("s1"))
+        store.append(
+            "mysql",
+            "spelling",
+            record(
+                "s2",
+                outcome=InjectionOutcome.HARNESS_ERROR,
+                harness_fault="worker-crash",
+                quarantined=True,
+            ),
+        )
+        store.close()
+        small_store(tmp_path / "b", records=("s1", "s2"))
+        assert main(["store", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "store",
+                    "diff",
+                    str(tmp_path / "a"),
+                    str(tmp_path / "b"),
+                    "--include-quarantined",
+                ]
+            )
+            == 1
+        )
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130_and_names_the_store(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        def explode(self, store=None, resume=False):
+            # the run was mid-flight: the store has already been opened
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli.CampaignSuite, "run", explode)
+        code = main(
+            ["suite", "--systems", "mysql", "--plugins", "spelling", "--store", str(tmp_path / "s")]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert str(tmp_path / "s") in err
+        assert "--resume" in err
+
+    def test_interrupt_without_store_prints_no_hint(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def explode(self, store=None, resume=False):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli.CampaignSuite, "run", explode)
+        code = main(["suite", "--systems", "mysql", "--plugins", "spelling"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err
