@@ -4,12 +4,31 @@ Every benchmark regenerates one of the paper's evaluation artefacts; they are
 wall-clock heavy compared to unit tests, so each experiment runs exactly once
 under pytest-benchmark (the quantities of interest are the produced
 table/figure and an order-of-magnitude runtime, not micro-second statistics).
+
+Benchmarks that track a performance trajectory write machine-readable
+``BENCH_<name>.json`` files at the repository root via
+:func:`write_bench_json`; CI uploads them as artifacts so the numbers are
+comparable across commits.  A session hook additionally dumps every
+pytest-benchmark timing into ``BENCH_benchmarks.json``.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 #: Seed shared by all benchmark experiments (reported results are reproducible).
 BENCH_SEED = 2008
+
+#: Repository root -- where the ``BENCH_*.json`` trajectory files land.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one ``BENCH_<name>.json`` trajectory file at the repo root."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture
@@ -20,3 +39,21 @@ def run_once(benchmark):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump every pytest-benchmark timing into ``BENCH_benchmarks.json``."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    timings = {}
+    for meta in bench_session.benchmarks:
+        stats = getattr(meta, "stats", None)
+        mean = getattr(stats, "mean", None)
+        if mean is None:  # fixture-level Metadata nests the Stats one deeper
+            mean = getattr(getattr(stats, "stats", None), "mean", None)
+        if mean is None:
+            continue
+        timings[meta.fullname] = {"mean_seconds": mean}
+    if timings:
+        write_bench_json("benchmarks", {"seed": BENCH_SEED, "timings": timings})

@@ -171,6 +171,15 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help=(
+            "disable the delta-validation fast path and fully re-validate "
+            "every scenario (outcomes are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--timeout-seconds",
         type=_positive_float,
         default=None,
@@ -286,6 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
         "run-spec", help="run the experiment described by a TOML/JSON spec file"
     )
     run_spec.add_argument("spec_file", help="experiment spec file (.toml or .json)")
+    run_spec.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help=(
+            "override the spec: disable the delta-validation fast path "
+            "(outcomes are identical either way)"
+        ),
+    )
+    run_spec.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="override (or add) the spec's result-store directory",
+    )
 
     validate = sub.add_parser(
         "validate", help="validate a spec file against the registries without running it"
@@ -409,6 +433,7 @@ def _execution_from_args(args: argparse.Namespace) -> ExecutionSpec:
         jobs=args.jobs,
         executor=args.executor,
         block_size=args.block_size,
+        incremental=getattr(args, "incremental", True),
         mutations_per_token=args.mutations_per_token,
         max_scenarios_per_class=args.max_scenarios_per_class,
         layout=args.layout,
@@ -542,8 +567,21 @@ def _command_suite(args: argparse.Namespace) -> int:
 
 
 def _command_run_spec(args: argparse.Namespace) -> int:
+    import dataclasses
+
     # no explicit validate(): CampaignSuite.from_spec validates before building
     spec = ExperimentSpec.from_file(args.spec_file)
+    if not args.incremental:
+        spec = dataclasses.replace(
+            spec, execution=dataclasses.replace(spec.execution, incremental=False)
+        )
+    if args.store is not None:
+        store_spec = (
+            dataclasses.replace(spec.store, root=args.store)
+            if spec.store is not None
+            else StoreSpec(root=args.store)
+        )
+        spec = dataclasses.replace(spec, store=store_spec)
     try:
         result, store = _run_spec(spec, resume=spec.store.resume if spec.store else False)
     except SpecError as exc:

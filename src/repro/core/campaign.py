@@ -115,6 +115,8 @@ class Campaign:
     block_size: int | None = None
     #: Opt-in fault tolerance (timeouts, crash retry, quarantine); None off.
     policy: FaultPolicy | None = None
+    #: Whether scenarios may take the delta-validation fast path.
+    incremental: bool = True
     seed_for: Callable[[ErrorGeneratorPlugin, int], int] | None = field(default=None, repr=False)
     scenario_filter: Callable[[str, object], bool] | None = field(default=None, repr=False)
     plugin_observer: Callable[[str, InjectionRecord], None] | None = field(
@@ -153,6 +155,7 @@ class Campaign:
             executor=spec.execution.executor,
             block_size=spec.execution.block_size,
             policy=FaultPolicy.from_execution(spec.execution),
+            incremental=spec.execution.incremental,
             seed_for=lambda plugin, _index, key=system: derive_seed(seed, key, plugin.name),
         )
 
@@ -180,6 +183,7 @@ class Campaign:
                 executor=self.executor,
                 block_size=self.block_size,
                 policy=self.policy,
+                incremental=self.incremental,
             )
             if self.check_baseline and index == 0:
                 problems = engine.baseline_check()

@@ -29,13 +29,21 @@ import time
 from typing import Callable, Mapping, Sequence
 
 from repro.core.faults import FaultPolicy
-from repro.core.infoset import ConfigSet
+from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
 from repro.core.profile import InjectionOutcome, InjectionRecord, ResilienceProfile
 from repro.core.templates.base import FaultScenario
 from repro.errors import CampaignError, ConfErrError, SerializationError, SUTError, TransformError
 from repro.parsers.base import get_dialect, serialize_tree
 from repro.plugins.base import ErrorGeneratorPlugin
 from repro.sut.base import SystemUnderTest, split_sut
+from repro.sut.incremental import (
+    INCREMENTAL_STATS,
+    BaselineValidation,
+    NodeChange,
+    ScenarioDelta,
+    node_at,
+    node_from_change,
+)
 
 __all__ = ["InjectionEngine"]
 
@@ -97,6 +105,7 @@ class InjectionEngine:
         executor: str | None = None,
         block_size: int | None = None,
         policy: FaultPolicy | None = None,
+        incremental: bool = True,
     ):
         if sut_factory is not None:
             self.sut = sut if isinstance(sut, SystemUnderTest) else sut_factory()
@@ -114,6 +123,9 @@ class InjectionEngine:
         self.executor = executor
         self.block_size = block_size
         self.policy = policy
+        #: Whether scenarios may take the delta-validation fast path
+        #: (``--no-incremental`` turns this off; outcomes are identical).
+        self.incremental = incremental
 
     # ---------------------------------------------------------------- parsing
     def parse_initial_configuration(self) -> ConfigSet:
@@ -149,6 +161,134 @@ class InjectionEngine:
             return {tree.name: serialize_tree(tree) for tree in system_set}
         except ConfErrError:
             return None
+
+    # ------------------------------------------------------------ incremental
+    def prepare_incremental(
+        self, config_set: ConfigSet, view_set: ConfigSet
+    ) -> BaselineValidation | None:
+        """Prepare the delta-validation baseline, or None when unsound.
+
+        The delta path validates baseline *trees* patched in place of the
+        full serialise-and-reparse round trip, so it is only enabled when
+
+        * the engine and the SUT opt in (``incremental`` and a
+          ``start_delta`` override),
+        * the pristine full validation started with a reusable index, and
+        * the view's reverse mapping reproduces the parsed pristine trees
+          *exactly* (a view that normalises formatting would make patched
+          baseline trees diverge from what the SUT would really see).
+        """
+        if not self.incremental or not self.sut.supports_delta():
+            return None
+        try:
+            system_set = self.plugin.view.untransform(view_set, config_set)
+        except ConfErrError:
+            return None
+        prepared = self.sut.prepare(self.sut.default_configuration())
+        if prepared is None or not prepared.result.started or prepared.state is None:
+            return None
+        if prepared.trees.names() != system_set.names():
+            return None
+        for name in system_set.names():
+            if not prepared.trees.get(name).structurally_equal(system_set.get(name)):
+                return None
+        return prepared
+
+    def _vet_change(
+        self, change: NodeChange, baseline_trees: ConfigSet
+    ) -> NodeChange | None:
+        """Round-trip-check ``change``; returns the change the SUT may trust.
+
+        The full path validates ``parse(serialize(tree))``; the delta path
+        validates patched baseline trees directly, so every changed node
+        must be proven to mean what the real parser would read.  Three
+        verdicts:
+
+        * the dialect's :meth:`~repro.parsers.base.ConfigDialect.roundtrip_safe`
+          pre-filter (or an actual serialise-and-reparse) shows the node
+          survives intact -- the change stands as-is;
+        * the dialect is line-oriented and the mutated text re-parses as a
+          *single node of the same kind* with different fields (a comment
+          marker truncating a value, say) -- the reparsed fields are
+          substituted, because that is exactly what a full parse of the
+          mutated file would see on that line;
+        * anything else (parse error, node splits, kind changes) -- ``None``,
+          routing the scenario through the full pass.
+        """
+        if change.tree not in baseline_trees:
+            return None
+        baseline_tree = baseline_trees.get(change.tree)
+        base_node = node_at(baseline_tree, change.path)
+        if base_node is None or base_node.kind != change.kind:
+            return None
+        dialect = get_dialect(baseline_tree.dialect)
+        if not base_node.children and dialect.roundtrip_safe(
+            change.kind, change.name, change.value, change.attrs
+        ):
+            return change
+        patched = node_from_change(change, base_node)
+        root = ConfigNode("file", name=baseline_tree.name)
+        root.append(patched)
+        snippet = ConfigTree(baseline_tree.name, root, dialect=baseline_tree.dialect)
+        try:
+            reparsed = dialect.parse(dialect.serialize(snippet), filename=baseline_tree.name)
+        except ConfErrError:
+            return None
+        children = reparsed.root.children
+        if len(children) != 1:
+            return None
+        reparsed_node = children[0]
+        if reparsed_node.structurally_equal(patched):
+            return change
+        if dialect.line_oriented and reparsed_node.kind == change.kind:
+            INCREMENTAL_STATS.substitutions += 1
+            return NodeChange(
+                tree=change.tree,
+                path=change.path,
+                kind=change.kind,
+                name=reparsed_node.name,
+                value=reparsed_node.value,
+                attrs=dict(reparsed_node.attrs),
+            )
+        return None
+
+    def _attempt_delta(
+        self,
+        scenario: FaultScenario,
+        view_set: ConfigSet,
+        prepared: BaselineValidation,
+    ):
+        """Try to classify ``scenario``'s start via the delta path.
+
+        Returns the :class:`~repro.sut.base.StartResult` a full start on the
+        mutated files would have produced, or None to run the full path.
+        Any exception is treated as a fallback: the full pass re-raises (and
+        classifies) whatever actually fails.
+        """
+        INCREMENTAL_STATS.attempts += 1
+        try:
+            with scenario.applied_to(view_set) as mutated:
+                changes = self.plugin.view.scenario_changes(scenario, mutated, prepared.trees)
+                if changes is None:
+                    INCREMENTAL_STATS.fallbacks += 1
+                    return None
+                vetted = []
+                for change in changes:
+                    checked = self._vet_change(change, prepared.trees)
+                    if checked is None:
+                        INCREMENTAL_STATS.guard_fallbacks += 1
+                        return None
+                    vetted.append(checked)
+                result = self.sut.start_delta(prepared, ScenarioDelta(tuple(vetted)))
+        except Exception:
+            INCREMENTAL_STATS.errors += 1
+            self._safe_stop()
+            return None
+        if result is None:
+            INCREMENTAL_STATS.fallbacks += 1
+            return None
+        INCREMENTAL_STATS.delta_starts += 1
+        return result
 
     # -------------------------------------------------------------- injection
     def run(
@@ -208,8 +348,11 @@ class InjectionEngine:
         if strategy is None:
             # serial: observe each record as it is produced (live progress)
             baseline = self.baseline_files(config_set, view_set)
+            prepared = self.prepare_incremental(config_set, view_set)
             for scenario in scenario_list:
-                record = self.run_scenario(scenario, config_set, view_set, baseline_files=baseline)
+                record = self.run_scenario(
+                    scenario, config_set, view_set, baseline_files=baseline, incremental=prepared
+                )
                 profile.add(record)
                 if self.observer is not None:
                     self.observer(record)
@@ -245,7 +388,12 @@ class InjectionEngine:
                 "the SUT class or a zero-argument callable instead of a shared "
                 "instance"
             )
-        return WorkerSpec(sut_factory=self.sut_factory, plugin=self.plugin, policy=self.policy)
+        return WorkerSpec(
+            sut_factory=self.sut_factory,
+            plugin=self.plugin,
+            policy=self.policy,
+            incremental=self.incremental,
+        )
 
     def materialize(
         self,
@@ -298,8 +446,15 @@ class InjectionEngine:
         config_set: ConfigSet,
         view_set: ConfigSet,
         baseline_files: Mapping[str, str] | None = None,
+        incremental: BaselineValidation | None = None,
     ) -> InjectionRecord:
-        """Run a single injection experiment and classify its outcome."""
+        """Run a single injection experiment and classify its outcome.
+
+        With a prepared ``incremental`` baseline, the engine first offers
+        the scenario to the delta-validation path; scenarios it cannot
+        soundly localise (structural edits, guard refusals) run the classic
+        materialise-and-start pipeline, byte-identically.
+        """
         started_at = time.perf_counter()
 
         def record(outcome: InjectionOutcome, messages=(), failed_tests=()) -> InjectionRecord:
@@ -314,25 +469,50 @@ class InjectionEngine:
                 duration_seconds=time.perf_counter() - started_at,
             )
 
-        try:
-            files = self.materialize(scenario, config_set, view_set, baseline_files=baseline_files)
-        except (SerializationError, TransformError) as exc:
-            return record(InjectionOutcome.INJECTION_IMPOSSIBLE, messages=[str(exc)])
-        except ConfErrError as exc:
-            return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+        start_result = None
+        if incremental is not None:
+            start_result = self._attempt_delta(scenario, view_set, incremental)
+            if start_result is incremental.result and incremental.functional is not None:
+                # the SUT declared the delta a no-op (see start_delta): the
+                # post-start state is the pristine state, so the recorded
+                # baseline functional outcomes are the suite's outcomes
+                INCREMENTAL_STATS.noop_reuses += 1
+                self._safe_stop()
+                failed = []
+                messages = list(start_result.warnings)
+                for passed, name, detail in incremental.functional:
+                    if not passed:
+                        failed.append(name)
+                        if detail:
+                            messages.append(f"{name}: {detail}")
+                if failed:
+                    return record(
+                        InjectionOutcome.DETECTED_BY_TESTS, messages=messages, failed_tests=failed
+                    )
+                return record(InjectionOutcome.IGNORED, messages=messages)
 
-        try:
-            start_result = self.sut.start(files)
-        except SUTError as exc:
-            return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
-        except Exception as exc:
-            # A crashing simulated SUT must not take the whole campaign (or a
-            # pool worker) down with it; record it and keep injecting.
-            self._safe_stop()
-            return record(
-                InjectionOutcome.HARNESS_ERROR,
-                messages=[f"unexpected SUT failure: {type(exc).__name__}: {exc}"],
-            )
+        if start_result is None:
+            try:
+                files = self.materialize(
+                    scenario, config_set, view_set, baseline_files=baseline_files
+                )
+            except (SerializationError, TransformError) as exc:
+                return record(InjectionOutcome.INJECTION_IMPOSSIBLE, messages=[str(exc)])
+            except ConfErrError as exc:
+                return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+
+            try:
+                start_result = self.sut.start(files)
+            except SUTError as exc:
+                return record(InjectionOutcome.HARNESS_ERROR, messages=[str(exc)])
+            except Exception as exc:
+                # A crashing simulated SUT must not take the whole campaign (or a
+                # pool worker) down with it; record it and keep injecting.
+                self._safe_stop()
+                return record(
+                    InjectionOutcome.HARNESS_ERROR,
+                    messages=[f"unexpected SUT failure: {type(exc).__name__}: {exc}"],
+                )
 
         if not start_result.started:
             self._safe_stop()

@@ -105,6 +105,10 @@ class WorkerSpec:
     sut_factory: Callable[[], SystemUnderTest]
     plugin: ErrorGeneratorPlugin
     policy: FaultPolicy | None = None
+    #: Whether workers may take the delta-validation fast path (the prepared
+    #: baseline is keyed by file content, so suite cells sharing a system
+    #: reuse it across plugin runs).
+    incremental: bool = True
 
 
 class WorkerContext:
@@ -118,15 +122,22 @@ class WorkerContext:
     def __init__(self, spec: WorkerSpec):
         from repro.core.engine import InjectionEngine
 
-        self.engine = InjectionEngine(spec.sut_factory(), spec.plugin)
+        self.engine = InjectionEngine(
+            spec.sut_factory(), spec.plugin, incremental=spec.incremental
+        )
         self.config_set = self.engine.parse_initial_configuration()
         self.view_set = spec.plugin.view.transform(self.config_set)
         self.baseline = self.engine.baseline_files(self.config_set, self.view_set)
+        self.prepared = self.engine.prepare_incremental(self.config_set, self.view_set)
 
     def run(self, scenario: FaultScenario) -> InjectionRecord:
         """Run one injection experiment against this worker's private SUT."""
         return self.engine.run_scenario(
-            scenario, self.config_set, self.view_set, baseline_files=self.baseline
+            scenario,
+            self.config_set,
+            self.view_set,
+            baseline_files=self.baseline,
+            incremental=self.prepared,
         )
 
 

@@ -277,9 +277,14 @@ class ExecutionSpec:
     mutations_per_token: int | None = None
     max_scenarios_per_class: int | None = None
     layout: str | None = None
+    #: Whether scenarios may take the delta-validation fast path (outcomes
+    #: are identical either way; ``--no-incremental`` is the escape hatch).
+    incremental: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"seed": self.seed, "jobs": self.jobs}
+        if not self.incremental:
+            data["incremental"] = False
         for key in (
             "executor",
             "block_size",
@@ -309,11 +314,14 @@ class ExecutionSpec:
             "mutations_per_token",
             "max_scenarios_per_class",
             "layout",
+            "incremental",
         )
         _reject_unknown_keys(data, known, path)
         kwargs: dict[str, Any] = {}
         if "seed" in data:
             kwargs["seed"] = _require_int(data["seed"], f"{path}.seed")
+        if "incremental" in data:
+            kwargs["incremental"] = _require_bool(data["incremental"], f"{path}.incremental")
         if "jobs" in data:
             kwargs["jobs"] = _require_int(data["jobs"], f"{path}.jobs")
         for key in ("executor", "layout"):
@@ -652,7 +660,9 @@ class ExperimentSpec:
 #: and profiles are executor-invariant, so worker settings (including the
 #: work-stealing block size) may differ freely.  The fault-tolerance knobs
 #: are likewise free: they change how failures are *handled*, never which
-#: scenarios exist or what a successful record contains.
+#: scenarios exist or what a successful record contains.  The incremental
+#: knob only changes validation *cost* -- profiles are byte-identical with
+#: it on or off -- so a resume may freely flip it.
 RESUME_IRRELEVANT_PATHS = frozenset(
     {
         "store",
@@ -662,6 +672,7 @@ RESUME_IRRELEVANT_PATHS = frozenset(
         "execution.timeout_seconds",
         "execution.max_retries",
         "execution.retry_backoff_seconds",
+        "execution.incremental",
     }
 )
 

@@ -166,6 +166,7 @@ class CampaignSuite:
         executor: str | None = None,
         block_size: int | None = None,
         policy: FaultPolicy | None = None,
+        incremental: bool = True,
         retry_quarantined: bool = False,
         check_baseline: bool = True,
         spec: ExperimentSpec | None = None,
@@ -189,6 +190,7 @@ class CampaignSuite:
         self.executor = executor
         self.block_size = block_size
         self.policy = policy
+        self.incremental = incremental
         self.retry_quarantined = retry_quarantined
         self.check_baseline = check_baseline
         self.spec = spec
@@ -215,6 +217,7 @@ class CampaignSuite:
             executor=spec.execution.executor,
             block_size=spec.execution.block_size,
             policy=FaultPolicy.from_execution(spec.execution),
+            incremental=spec.execution.incremental,
             retry_quarantined=spec.store.retry_quarantined if spec.store else False,
             spec=spec,
             record_observer=record_observer,
@@ -319,6 +322,7 @@ class CampaignSuite:
                 executor=self.executor,
                 block_size=self.block_size,
                 policy=self.policy,
+                incremental=self.incremental,
                 seed_for=lambda plugin, _index, key=system_key: self.campaign_seed(
                     key, plugin.name
                 ),

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.core.infoset import ConfigSet
+from repro.sut.incremental import NodeChange, node_at
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.core.templates.base import FaultScenario
 
 __all__ = ["View", "IdentityView"]
 
@@ -56,6 +60,24 @@ class View(ABC):
         """
         return None
 
+    def scenario_changes(
+        self,
+        scenario: "FaultScenario",
+        view_set: ConfigSet,
+        baseline_trees: ConfigSet,
+    ) -> "Optional[list[NodeChange]]":
+        """Reduce a scenario to the system-tree nodes it changes.
+
+        Called with the *mutated* view (inside the scenario's apply/undo
+        context) and the baseline system trees; returns detached
+        :class:`~repro.sut.incremental.NodeChange` records addressing
+        baseline nodes, or ``None`` when the view cannot localise the edit
+        to individual nodes (structural operations, cross-file grafts,
+        aggregate views).  ``None`` routes the scenario through the full
+        validation pass, so a conservative answer is always sound.
+        """
+        return None
+
 
 class IdentityView(View):
     """View whose plugin representation *is* the system-specific tree.
@@ -84,3 +106,36 @@ class IdentityView(View):
                 return None
             result.add(view_set.get(name))
         return result
+
+    def scenario_changes(
+        self,
+        scenario: "FaultScenario",
+        view_set: ConfigSet,
+        baseline_trees: ConfigSet,
+    ) -> Optional[list[NodeChange]]:
+        # Identity mapping: a view path *is* the system-tree path, so a
+        # field edit maps one-to-one onto a baseline node.  Anything but a
+        # field edit restructures the tree -- full pass.
+        from repro.core.templates.base import SetFieldOperation  # cycle guard
+
+        latest: dict[tuple[str, tuple[int, ...]], NodeChange] = {}
+        for operation in scenario.operations:
+            if not isinstance(operation, SetFieldOperation):
+                return None
+            address = operation.target
+            path = tuple(address.path)
+            if not path or address.tree not in view_set or address.tree not in baseline_trees:
+                return None
+            node = node_at(view_set.get(address.tree), path)
+            base = node_at(baseline_trees.get(address.tree), path)
+            if node is None or base is None or node.kind != base.kind:
+                return None
+            latest[(address.tree, path)] = NodeChange(
+                tree=address.tree,
+                path=path,
+                kind=node.kind,
+                name=node.name,
+                value=node.value,
+                attrs=node.attrs,
+            )
+        return list(latest.values())

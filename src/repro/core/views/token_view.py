@@ -17,8 +17,10 @@ from __future__ import annotations
 import re
 
 from repro.core.infoset import ConfigNode, ConfigSet, ConfigTree
+from repro.core.templates.base import SetFieldOperation
 from repro.core.views.base import View
 from repro.errors import TransformError
+from repro.sut.incremental import NodeChange, node_at
 
 __all__ = ["TokenView", "TOKEN_DIRECTIVE_NAME", "TOKEN_DIRECTIVE_VALUE", "TOKEN_SECTION_NAME", "TOKEN_SECTION_ARG"]
 
@@ -163,17 +165,74 @@ class TokenView(View):
         if tree_name not in result:
             raise TransformError(f"token line refers to unknown file {tree_name!r}")
         target = _resolve_path(result.get(tree_name), path)
+        target.name, target.value = self._line_fields(line, target.name, target.value)
 
-        name_tokens = [
-            token for token in line.children_of_kind("token") if token.get("field") == "name"
-        ]
-        value_tokens = [
-            token for token in line.children_of_kind("token") if token.get("field") == "value"
-        ]
-        if name_tokens:
-            target.name = name_tokens[0].value
-        if value_tokens or line.get("value_gaps") is not None:
-            words = [token.value if token.value is not None else "" for token in value_tokens]
-            gaps = list(line.get("value_gaps", []))
-            if target.value is not None or words:
-                target.value = _join_words(words, gaps) if words else target.value
+    def _line_fields(
+        self, line: ConfigNode, base_name: str | None, base_value: str | None
+    ) -> tuple[str | None, str | None]:
+        """The (name, value) a line's tokens impose on its source node.
+
+        The single source of truth for the reverse mapping of one line:
+        both the full untransform and the delta extraction go through it.
+        """
+        name = base_name
+        value = base_value
+        named = False
+        words: list[str] | None = None
+        for token in line.children:
+            if token.kind != "token":
+                continue
+            token_field = token.attrs.get("field")
+            if token_field == "name":
+                if not named:
+                    named = True
+                    name = token.value
+            elif token_field == "value":
+                if words is None:
+                    words = []
+                words.append(token.value if token.value is not None else "")
+        if words:
+            value = _join_words(words, line.attrs.get("value_gaps") or [])
+        return name, value
+
+    # ---------------------------------------------------------------- deltas
+    def scenario_changes(self, scenario, view_set, baseline_trees):
+        # Token edits address (line, token) pairs; each touched line maps to
+        # exactly one source node, whose post-mutation fields are rebuilt by
+        # the same reassembly the full untransform uses.
+        lines: dict[tuple[str, int], ConfigNode] = {}
+        for operation in scenario.operations:
+            if not isinstance(operation, SetFieldOperation):
+                return None
+            target = operation.target
+            path = target.path
+            if len(path) != 2 or target.tree not in view_set:
+                return None
+            children = view_set.get(target.tree).root.children
+            line_index = path[0]
+            if not 0 <= line_index < len(children):
+                return None
+            line = children[line_index]
+            if line.kind != "line":
+                return None
+            lines[(target.tree, line_index)] = line
+        changes: dict[tuple[str, tuple[int, ...]], NodeChange] = {}
+        for line in lines.values():
+            line_attrs = line.attrs
+            source_tree = line_attrs.get("source_tree")
+            source_path = tuple(line_attrs.get("source_path") or ())
+            if source_tree is None or not source_path or source_tree not in baseline_trees:
+                return None
+            base = node_at(baseline_trees.get(source_tree), source_path)
+            if base is None:
+                return None
+            name, value = self._line_fields(line, base.name, base.value)
+            changes[(source_tree, source_path)] = NodeChange(
+                tree=source_tree,
+                path=source_path,
+                kind=base.kind,
+                name=name,
+                value=value,
+                attrs=base.attrs,
+            )
+        return list(changes.values())

@@ -18,6 +18,7 @@ endings, so a CRLF file round-trips byte-identically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any, Mapping
 
 from repro.core.infoset import ConfigTree
 from repro.errors import SerializationError
@@ -67,6 +68,15 @@ class ConfigDialect(ABC):
     #: Registry name; subclasses must override.
     name: str = ""
 
+    #: True when every physical line parses to exactly one top-level node and
+    #: a line's interpretation never depends on the lines around it (section
+    #: headers only *group* what follows; there are no multi-line constructs
+    #: such as brace blocks or parenthesised continuations).  The
+    #: delta-validation guard relies on this: for a line-oriented dialect, a
+    #: mutated node whose serialisation re-parses as a single node of the
+    #: same kind means the full-file parse would see exactly that node.
+    line_oriented: bool = False
+
     # ------------------------------------------------------------ template API
     @abstractmethod
     def _parse(self, text: str, filename: str) -> ConfigTree:
@@ -80,6 +90,19 @@ class ConfigDialect(ABC):
         contains structures the format cannot express (the paper relies on
         this to detect impossible mutations, Sections 3.2 and 5.4).
         """
+
+    def roundtrip_safe(
+        self, kind: str, name: str | None, value: str | None, attrs: "Mapping[str, Any]"
+    ) -> bool:
+        """Cheap *sufficient* check that a node survives serialise+parse.
+
+        True promises that a childless node with these fields serialises to
+        text that re-parses into exactly the same fields and attrs, letting
+        the delta-validation guard skip the round trip for the common case;
+        False decides nothing -- the caller must fall back to actually
+        serialising and re-parsing.  The default promises nothing.
+        """
+        return False
 
     # ------------------------------------------------------------- public API
     def parse(self, text: str, filename: str = "<string>") -> ConfigTree:

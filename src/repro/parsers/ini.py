@@ -29,11 +29,42 @@ _DIRECTIVE_RE = re.compile(
     r"^(?P<indent>\s*)(?P<name>[^\s=#;\[]+)(?P<separator>\s*=\s*)?(?P<value>[^#;]*?)(?P<comment>\s*[#;].*)?$"
 )
 
+#: Directive names the parser accepts verbatim (no separators, comment
+#: markers, whitespace or a header-opening bracket).
+_SAFE_NAME_RE = re.compile(r"^[^\s=#;\[]+$")
+_SAFE_SEPARATOR_RE = re.compile(r"^\s*=\s*$")
+#: Attribute keys :meth:`IniDialect._directive_node` produces; a directive
+#: carrying anything else did not come from this parser.
+_DIRECTIVE_ATTRS = frozenset({"indent", "separator", "inline_comment"})
+
 
 class IniDialect(ConfigDialect):
     """Parser/serialiser for ``my.cnf``-style INI files."""
 
     name = "ini"
+    line_oriented = True
+
+    def roundtrip_safe(self, kind, name, value, attrs) -> bool:
+        # A directive re-parses identically when nothing in it can be taken
+        # for a comment marker, header, separator, line break or strippable
+        # whitespace.  Anything else defers to the real round trip.
+        if kind != "directive" or not name or not _SAFE_NAME_RE.match(name):
+            return False
+        if not _DIRECTIVE_ATTRS.issuperset(attrs):
+            return False
+        if attrs.get("inline_comment"):
+            return False
+        indent = attrs.get("indent", "")
+        if indent and not indent.isspace():
+            return False
+        separator = attrs.get("separator", "")
+        if value is None:
+            return not separator
+        if not _SAFE_SEPARATOR_RE.match(separator or ""):
+            return False
+        if value != value.strip():
+            return False
+        return "#" not in value and ";" not in value and "\n" not in value and "\r" not in value
 
     def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)

@@ -31,6 +31,9 @@ class LineConfDialect(ConfigDialect):
     """Parser/serialiser for plain ``key [=] value`` files."""
 
     name = "lineconf"
+    #: One line = one flat node and no cross-line constructs, so the
+    #: engine's single-node reparse substitution is sound.
+    line_oriented = True
 
     def __init__(self, comment_markers: tuple[str, ...] = ("#",)):
         self.comment_markers = comment_markers

@@ -34,6 +34,9 @@ class PostgresConfDialect(ConfigDialect):
     """Parser/serialiser for ``postgresql.conf``."""
 
     name = "pgconf"
+    #: One line = one flat node and no cross-line constructs, so the
+    #: engine's single-node reparse substitution is sound.
+    line_oriented = True
 
     def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)

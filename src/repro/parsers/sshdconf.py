@@ -47,6 +47,10 @@ class SshdConfDialect(ConfigDialect):
     """Parser/serialiser for OpenSSH ``sshd_config`` files."""
 
     name = "sshdconf"
+    #: Every line is exactly one node and parses independently of its
+    #: neighbours (a Match header *groups* following lines but never changes
+    #: how they tokenise), so single-node reparse substitution is sound.
+    line_oriented = True
 
     def _parse(self, text: str, filename: str) -> ConfigTree:
         root = ConfigNode("file", name=filename)

@@ -4,7 +4,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfErrError
+from repro.sut.incremental import (
+    INCREMENTAL_STATS,
+    BaselineValidation,
+    ScenarioDelta,
+    cached_baseline,
+    content_key,
+    store_baseline,
+)
 
 __all__ = ["StartResult", "TestResult", "FunctionalTest", "SystemUnderTest", "split_sut"]
 
@@ -95,6 +105,105 @@ class SystemUnderTest(ABC):
     def is_running(self) -> bool:
         """Whether the system is currently started (optional override)."""
         return False
+
+    # ------------------------------------------------- incremental revalidation
+    def supports_delta(self) -> bool:
+        """Whether this SUT overrides :meth:`start_delta`."""
+        return type(self).start_delta is not SystemUnderTest.start_delta
+
+    def prepare(self, files: Mapping[str, str]) -> BaselineValidation | None:
+        """Parse and fully validate the pristine ``files`` once, for reuse.
+
+        Returns a :class:`~repro.sut.incremental.BaselineValidation` holding
+        the parsed trees, the full-start result, and (when the pristine
+        system started) the SUT-specific reusable index from
+        :meth:`_baseline_state`.  Baselines are cached per (SUT class,
+        content hash of the files), so consecutive plugin runs -- and suite
+        cells -- over the same system reuse one prepared baseline.
+
+        The system is stopped before this returns; ``start_delta`` restores
+        the running state itself.  Returns None when a file fails to parse
+        (the full path classifies such sets per scenario).
+        """
+        key = content_key(files)
+        sut_key = type(self).__qualname__
+        cached = cached_baseline(sut_key, key)
+        if cached is not None:
+            INCREMENTAL_STATS.cache_hits += 1
+            return cached
+        from repro.parsers.base import get_dialect
+
+        trees = []
+        try:
+            for filename, text in files.items():
+                dialect = get_dialect(self.dialect_for(filename))
+                trees.append(dialect.parse(text, filename=filename))
+        except ConfErrError:
+            return None
+        from repro.core.infoset import ConfigSet
+
+        tree_set = ConfigSet(trees)
+        result = self.start(files)
+        state = None
+        functional: tuple[tuple[bool, str, str], ...] | None = None
+        try:
+            if result.started:
+                state = self._baseline_state(tree_set)
+                try:
+                    functional = tuple(
+                        (outcome.passed, outcome.name, outcome.detail)
+                        for outcome in (test.run(self) for test in self.functional_tests())
+                    )
+                except Exception:
+                    # a diagnosis suite that cannot run on the pristine system
+                    # simply never gets its outcomes reused
+                    functional = None
+        finally:
+            self.stop()
+        INCREMENTAL_STATS.prepares += 1
+        baseline = BaselineValidation(
+            files=dict(files),
+            trees=tree_set,
+            result=result,
+            state=state,
+            functional=functional,
+            content_key=key,
+        )
+        store_baseline(sut_key, key, baseline)
+        return baseline
+
+    def _baseline_state(self, trees: Any) -> Any:
+        """Reusable validation index built while the pristine system runs.
+
+        Called by :meth:`prepare` with the parsed pristine trees after a
+        successful full start and before the stop.  SUTs that support
+        deltas return whatever :meth:`start_delta` needs (duplicate maps,
+        per-directive effects, cross-reference tables); the default None
+        disables the delta path.
+        """
+        return None
+
+    def start_delta(
+        self, baseline: BaselineValidation, delta: ScenarioDelta
+    ) -> "StartResult | None":
+        """Revalidate only what ``delta`` touches; None falls back to full.
+
+        A successful implementation must leave the system in exactly the
+        state a full ``start()`` on the mutated files would have: the
+        functional tests interrogate the live system afterwards.  Returning
+        None at any point routes the scenario through the byte-identical
+        full-validation pass instead.
+
+        Returning ``baseline.result`` *itself* (object identity) declares
+        the delta *functionally equivalent* to the pristine start: the
+        start outcome (including warnings) is identical, and the parts of
+        the system state the diagnosis suite can observe are unchanged, so
+        the suite would reproduce the baseline's recorded outcomes.  The
+        engine then reuses those outcomes instead of re-running the suite.
+        The implementation must still leave the system fully started in
+        case the engine has no recorded outcomes to reuse.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -18,12 +18,15 @@ The simulation reproduces the configuration-handling behaviour of the MySQL
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
+from repro.core.infoset import ConfigSet
 from repro.errors import ParseError
 from repro.parsers.base import get_dialect
 from repro.sut.base import FunctionalTest, StartResult, SystemUnderTest
 from repro.sut.functional import database_suite
+from repro.sut.incremental import BaselineValidation, ScenarioDelta
 from repro.sut.mysql.options import AUXILIARY_SECTIONS, CLIENT_OPTIONS, DEFAULT_MY_CNF, MYSQLD_OPTIONS
 from repro.sut.options import OptionSpec, OptionTable
 from repro.sut.storage import Connection, MiniSqlEngine
@@ -96,6 +99,33 @@ def parse_mysql_numeric(text: str, spec: OptionSpec) -> tuple[int | None, list[s
     return clamped, warnings
 
 
+@dataclass
+class _MySqlDeltaState:
+    """Reusable index of one fully validated pristine ``my.cnf``.
+
+    ``roles`` classifies every node path the server's walk visits: an int
+    is the document-order position of a processed ``[mysqld]``/``[server]``
+    directive, ``"ignored"`` marks nodes the server never interprets
+    (auxiliary groups, comments, directives outside any group).  Section
+    nodes carry no role on purpose: renaming a section can move whole
+    groups in or out of the server's view, which is a full-pass edit.
+
+    ``entries[position]`` is the effect of one processed directive on the
+    pristine file: ``(error, assignment, warnings)`` where ``assignment``
+    is the ``(canonical key, value)`` it wrote (or None).  ``assignments``
+    indexes the same data per key for last-write-wins splicing.
+    """
+
+    roles: dict[tuple[int, ...], object]
+    entries: list[tuple[str | None, tuple[str, object] | None, tuple[str, ...]]]
+    assignments: dict[str, list[tuple[int, object]]]
+    defaults: dict[str, object]
+    final_settings: dict[str, object]
+    #: Positions whose pristine directive emitted warnings (usually none);
+    #: kept sparse so the per-delta merge never walks all entries.
+    warning_positions: tuple[tuple[int, tuple[str, ...]], ...]
+
+
 class SimulatedMySQL(SystemUnderTest):
     """Simulated MySQL database server driven by a ``my.cnf`` option file."""
 
@@ -165,6 +195,143 @@ class SimulatedMySQL(SystemUnderTest):
         self.last_warnings = warnings
         max_connections = int(settings.get("max_connections") or 1)
         self._engine = MiniSqlEngine(max_connections=max(1, max_connections))
+        return StartResult.ok(warnings)
+
+    # ------------------------------------------------------------ delta start
+    def _baseline_state(self, trees: ConfigSet) -> _MySqlDeltaState | None:
+        """Index the pristine option file for last-write-wins splicing."""
+        if self.config_filename not in trees:
+            return None
+        tree = trees.get(self.config_filename)
+        roles: dict[tuple[int, ...], object] = {}
+        entries: list[tuple[str | None, tuple[str, object] | None, tuple[str, ...]]] = []
+        for s_index, node in enumerate(tree.root.children):
+            if node.kind != "section":
+                # content before any [section] header: mysqld never reads it
+                roles[(s_index,)] = "ignored"
+                continue
+            section_name = (node.name or "").strip().lower()
+            if section_name not in _SERVER_SECTIONS:
+                for d_index in range(len(node.children)):
+                    roles[(s_index, d_index)] = "ignored"
+                continue
+            for d_index, child in enumerate(node.children):
+                if child.kind != "directive":
+                    roles[(s_index, d_index)] = "ignored"
+                    continue
+                probe: dict[str, object] = {}
+                probe_warnings: list[str] = []
+                error = self._apply_directive(
+                    child.name or "", child.value, probe, probe_warnings
+                )
+                assignment = next(iter(probe.items()), None)
+                roles[(s_index, d_index)] = len(entries)
+                entries.append((error, assignment, tuple(probe_warnings)))
+        assignments: dict[str, list[tuple[int, object]]] = {}
+        for position, (_error, assignment, _warnings) in enumerate(entries):
+            if assignment is not None:
+                assignments.setdefault(assignment[0], []).append((position, assignment[1]))
+        defaults = {spec.canonical_name(): self._default_for(spec) for spec in MYSQLD_OPTIONS}
+        final_settings = dict(defaults)
+        for _error, assignment, _warnings in entries:
+            if assignment is not None:
+                final_settings[assignment[0]] = assignment[1]
+        return _MySqlDeltaState(
+            roles=roles,
+            entries=entries,
+            assignments=assignments,
+            defaults=defaults,
+            final_settings=final_settings,
+            warning_positions=tuple(
+                (position, entry[2]) for position, entry in enumerate(entries) if entry[2]
+            ),
+        )
+
+    def start_delta(
+        self, baseline: BaselineValidation, delta: ScenarioDelta
+    ) -> StartResult | None:
+        """Revalidate only the changed directives, splicing their effects.
+
+        A changed directive's effect (error, assignment, warnings) is
+        recomputed in isolation and substituted at its document position;
+        every key it touched is re-resolved by last-write-wins over the
+        baseline index.  Section edits and unknown paths fall back.
+        """
+        state: _MySqlDeltaState = baseline.state
+        overrides: dict[int, tuple[str, str | None]] = {}
+        for change in delta.changes:
+            if change.tree != self.config_filename:
+                return None
+            role = state.roles.get(change.path)
+            if role == "ignored":
+                continue
+            if not isinstance(role, int):
+                return None
+            overrides[role] = (change.name or "", change.value)
+
+        self.stop()
+        if not overrides:
+            # every changed node is one mysqld never reads: pristine state
+            self.effective_settings = dict(state.final_settings)
+            self.last_warnings = list(baseline.result.warnings)
+            max_connections = int(state.final_settings.get("max_connections") or 1)
+            self._engine = MiniSqlEngine(max_connections=max(1, max_connections))
+            return baseline.result
+        effects: dict[int, tuple[str | None, tuple[str, object] | None, tuple[str, ...]]] = {}
+        for position, (name, value) in overrides.items():
+            probe: dict[str, object] = {}
+            probe_warnings: list[str] = []
+            error = self._apply_directive(name, value, probe, probe_warnings)
+            effects[position] = (error, next(iter(probe.items()), None), tuple(probe_warnings))
+
+        # the full walk fails on the first erroring directive in file order
+        failing = [position for position, effect in effects.items() if effect[0] is not None]
+        if failing:
+            return StartResult.failed(effects[min(failing)][0])
+
+        settings = dict(state.final_settings)
+        affected: set[str] = set()
+        for position in overrides:
+            old = state.entries[position][1]
+            if old is not None:
+                affected.add(old[0])
+            new = effects[position][1]
+            if new is not None:
+                affected.add(new[0])
+        for key in affected:
+            candidates = [
+                (position, value)
+                for position, value in state.assignments.get(key, [])
+                if position not in overrides
+            ]
+            candidates.extend(
+                (position, effect[1][1])
+                for position, effect in effects.items()
+                if effect[1] is not None and effect[1][0] == key
+            )
+            settings[key] = max(candidates)[1] if candidates else state.defaults[key]
+
+        warnings: list[str] = []
+        if state.warning_positions or any(effect[2] for effect in effects.values()):
+            merged = dict(state.warning_positions)
+            for position, effect in effects.items():
+                if effect[2]:
+                    merged[position] = effect[2]
+                else:
+                    merged.pop(position, None)
+            for position in sorted(merged):
+                warnings.extend(merged[position])
+
+        self.effective_settings = settings
+        self.last_warnings = warnings
+        max_connections = int(settings.get("max_connections") or 1)
+        self._engine = MiniSqlEngine(max_connections=max(1, max_connections))
+        if warnings == baseline.result.warnings and max_connections == int(
+            state.final_settings.get("max_connections") or 1
+        ):
+            # same start outcome and same admission limit: the diagnosis
+            # suite observes a state indistinguishable from the pristine one
+            return baseline.result
         return StartResult.ok(warnings)
 
     # ----------------------------------------------------------------- helpers

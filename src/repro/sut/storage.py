@@ -45,6 +45,25 @@ _SELECT_RE = re.compile(
     re.IGNORECASE,
 )
 _DROP_DB_RE = re.compile(r"^\s*DROP\s+DATABASE\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+_USE_RE = re.compile(r"^\s*USE\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+
+#: First keyword of a statement -> the patterns that can match it, so the
+#: dispatcher tries one or two regexes instead of all of them.
+_KEYWORD_RULES = {
+    "CREATE": ("_create_database", "_create_table"),
+    "INSERT": ("_insert",),
+    "SELECT": ("_select",),
+    "DROP": ("_drop_database",),
+    "USE": ("_use",),
+}
+_HANDLER_PATTERNS = {
+    "_create_database": _CREATE_DB_RE,
+    "_create_table": _CREATE_TABLE_RE,
+    "_insert": _INSERT_RE,
+    "_select": _SELECT_RE,
+    "_drop_database": _DROP_DB_RE,
+    "_use": _USE_RE,
+}
 
 
 def _parse_literal(text: str):
@@ -117,19 +136,13 @@ class MiniSqlEngine:
     # ------------------------------------------------------------ statements
     def execute(self, statement: str):
         """Dispatch one statement; raises :class:`SqlError` on failure."""
-        for pattern, handler in (
-            (_CREATE_DB_RE, self._create_database),
-            (_CREATE_TABLE_RE, self._create_table),
-            (_INSERT_RE, self._insert),
-            (_SELECT_RE, self._select),
-            (_DROP_DB_RE, self._drop_database),
-        ):
-            match = pattern.match(statement)
-            if match:
-                return handler(match)
-        use_match = re.match(r"^\s*USE\s+(?P<name>\w+)\s*;?\s*$", statement, re.IGNORECASE)
-        if use_match:
-            return self._use(use_match)
+        words = statement.split(None, 1)
+        rules = _KEYWORD_RULES.get(words[0].upper()) if words else None
+        if rules is not None:
+            for handler_name in rules:
+                match = _HANDLER_PATTERNS[handler_name].match(statement)
+                if match:
+                    return getattr(self, handler_name)(match)
         raise SqlError(f"unsupported statement: {statement!r}")
 
     # handlers ---------------------------------------------------------------
