@@ -1,0 +1,104 @@
+"""Benchmark: campaign-service job throughput and progress-poll latency.
+
+The service exists so many small campaigns can be queued and polled by
+many clients; the quantities that matter are therefore end-to-end:
+
+* **jobs/sec** through the full HTTP round trip (submit -> schedule ->
+  suite run -> store append -> DONE) for a small smoke spec, with the
+  scheduler running two jobs at a time, and
+* **progress-poll latency** for ``GET /jobs/{id}`` while N concurrent
+  clients hammer the endpoint mid-run -- the "is my campaign done yet?"
+  path every dashboard would sit on.
+
+Both land in ``BENCH_service.json`` for the tracked perf trajectory.
+Floors are deliberately loose (an order of magnitude under the observed
+numbers): the benchmark guards against a collapse, not against noise.
+"""
+
+import json
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import BENCH_SEED, write_bench_json
+from repro.service import CampaignService, ServiceClient, make_server
+
+SMOKE_SPEC = {
+    "systems": [{"name": "postgres"}],
+    "plugins": [{"name": "semantic-constraints", "params": {"system": "postgres"}}],
+    "execution": {"seed": BENCH_SEED, "jobs": 1},
+}
+
+#: End-to-end jobs/sec floor (observed ~5-15 on a laptop-class machine).
+MIN_JOBS_PER_SECOND = 0.5
+#: Mid-run progress-poll p95 ceiling, seconds (observed ~1-5 ms).
+MAX_POLL_P95_SECONDS = 0.25
+
+JOB_COUNT = 8
+POLL_CLIENTS = 4
+POLLS_PER_CLIENT = 50
+
+
+class TestServiceThroughput:
+    def test_jobs_per_second_and_poll_latency(self, tmp_path, run_once):
+        payload = run_once(self._measure, tmp_path)
+
+        assert payload["jobs_per_second"] >= MIN_JOBS_PER_SECOND
+        assert payload["poll_p95_seconds"] <= MAX_POLL_P95_SECONDS
+        write_bench_json("service", payload)
+
+    def _measure(self, tmp_path) -> dict:
+        service = CampaignService(
+            tmp_path / "data", jobs_per_tenant=2, workers=2, poll_interval=0.01
+        ).start()
+        server = make_server(service)
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+        base_url = f"http://127.0.0.1:{server.server_address[1]}"
+        client = ServiceClient(base_url, tenant="bench", timeout=30.0)
+        try:
+            # ---- jobs/sec: submit a batch, wait for the last DONE ----
+            started = time.perf_counter()
+            jobs = [client.submit(SMOKE_SPEC) for _ in range(JOB_COUNT)]
+            finals = [client.wait(job["id"], timeout=300.0, poll=0.01) for job in jobs]
+            batch_seconds = time.perf_counter() - started
+            assert all(job["state"] == "DONE" for job in finals)
+
+            # ---- poll latency: N clients hammer one job's status ----
+            target = client.submit(SMOKE_SPEC)["id"]
+            latencies: list[float] = []
+            lock = threading.Lock()
+
+            def hammer() -> None:
+                poller = ServiceClient(base_url, tenant="bench", timeout=30.0)
+                mine = []
+                for _ in range(POLLS_PER_CLIENT):
+                    poll_started = time.perf_counter()
+                    poller.job(target)
+                    mine.append(time.perf_counter() - poll_started)
+                with lock:
+                    latencies.extend(mine)
+
+            pollers = [threading.Thread(target=hammer) for _ in range(POLL_CLIENTS)]
+            for thread in pollers:
+                thread.start()
+            for thread in pollers:
+                thread.join()
+            client.wait(target, timeout=300.0, poll=0.01)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            server_thread.join(timeout=30)
+
+        latencies.sort()
+        return {
+            "seed": BENCH_SEED,
+            "jobs": JOB_COUNT,
+            "batch_seconds": batch_seconds,
+            "jobs_per_second": JOB_COUNT / batch_seconds,
+            "poll_clients": POLL_CLIENTS,
+            "polls": len(latencies),
+            "poll_mean_seconds": statistics.fmean(latencies),
+            "poll_p95_seconds": latencies[int(len(latencies) * 0.95)],
+        }

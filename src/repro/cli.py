@@ -17,7 +17,12 @@ Sub-commands
 ``conferr run-spec experiment.toml``
     Run the experiment a TOML/JSON spec file describes.
 ``conferr validate experiment.toml``
-    Check a spec file against the registries without running anything.
+    Check a spec file against the registries without running anything;
+    ``--json`` emits the machine-readable report the service uses for
+    HTTP 400 bodies.
+``conferr serve --data-dir service/``
+    Run the campaign service: an HTTP API + multi-tenant job queue over
+    durable result stores (see ``docs/SERVICE.md``).
 ``conferr table1`` / ``table2`` / ``table3`` / ``figure3``
     Regenerate the paper's evaluation artefacts (``--store`` persists the
     records; ``--from-store`` re-renders from disk without re-running).
@@ -65,7 +70,7 @@ from repro.core.spec import (
 )
 from repro.core.store import ResultStore, diff_stores
 from repro.core.suite import CampaignSuite, SuiteResult
-from repro.errors import CampaignError, SpecError, StoreError
+from repro.errors import CampaignError, ServiceError, SpecError, StoreError
 from repro.parsers.base import available_dialects
 from repro.plugins.base import available_plugins
 from repro.registry import available_systems
@@ -315,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a spec file against the registries without running it"
     )
     validate.add_argument("spec_file", help="experiment spec file (.toml or .json)")
+    validate.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help=(
+            "emit a machine-readable {valid, errors[{path, message}]} report "
+            "(the same document the service returns as an HTTP 400 body)"
+        ),
+    )
 
     report = sub.add_parser(
         "report", help="re-render a saved profile JSON file or a result-store directory"
@@ -420,6 +434,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-quarantined",
         action="store_true",
         help="also flag records whose scenario id is quarantined in either store",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the campaign service: an HTTP API + multi-tenant job queue "
+            "over durable result stores (see docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="service state root (per-tenant job specs, states and stores)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port, 0 picks a free one (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--jobs-per-tenant",
+        type=_positive_int,
+        default=1,
+        help="max jobs of one tenant running at once (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="max jobs running at once across all tenants (default: %(default)s)",
     )
 
     sub.add_parser("list", help="list available systems, plugins, dialects and layouts")
@@ -591,6 +635,19 @@ def _command_run_spec(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
+    from repro.core.spec import validation_report
+
+    if args.as_json:
+        # machine-readable: always exit through JSON (0 valid / 1 invalid),
+        # never a traceback -- this document is also the service's 400 body
+        try:
+            spec = ExperimentSpec.from_file(args.spec_file)
+        except SpecError as exc:
+            report = {"valid": False, "errors": [{"path": None, "message": str(exc)}]}
+        else:
+            report = validation_report(spec)
+        print(json.dumps(report, indent=2))
+        return 0 if report["valid"] else 1
     spec = ExperimentSpec.from_file(args.spec_file)
     try:
         spec.validate()
@@ -608,17 +665,12 @@ def _command_validate(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     from repro.core.profile import ResilienceProfile
-    from repro.core.report import store_typo_table
+    from repro.core.report import render_store_report
 
     if os.path.isdir(args.profile_file):
-        store = ResultStore(args.profile_file)
-        manifest = store.read_manifest()  # raises StoreError for a plain directory
-        print(f"result store: {store.root} (kind: {manifest.get('kind')}, seed: {manifest.get('seed')})")
-        for profile in store.merged_profiles().values():
-            print()
-            print(profile.summary())
-        print()
-        print(store_typo_table(store))
+        # one renderer shared with the service's GET /jobs/{id}/report, so
+        # the served report is byte-identical to this command's output
+        print(render_store_report(ResultStore(args.profile_file)))
         return 0
     profile = ResilienceProfile.load(args.profile_file)
     print(profile.summary())
@@ -798,6 +850,21 @@ def _command_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import serve
+
+    # serve() owns graceful shutdown itself: KeyboardInterrupt (and the
+    # SIGTERM main() folds into it) stops the server, interrupts running
+    # jobs between records and requeues them for the next start
+    return serve(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        jobs_per_tenant=args.jobs_per_tenant,
+        workers=args.workers,
+    )
+
+
 def _sigterm_to_interrupt(signum: int, frame: object) -> None:
     """Fold SIGTERM into the KeyboardInterrupt shutdown path of :func:`main`."""
     raise KeyboardInterrupt
@@ -820,6 +887,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table3": _command_table3,
         "figure3": _command_figure3,
         "matrix": _command_matrix,
+        "serve": _command_serve,
     }
     del _ACTIVE_STORES[:]
     try:
@@ -828,7 +896,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         previous_sigterm = None
     try:
         return handlers[args.command](args)
-    except (CampaignError, SpecError, StoreError) as exc:
+    except (CampaignError, ServiceError, SpecError, StoreError) as exc:
         # e.g. --executor process with a campaign that cannot be pickled, a
         # resume pointed at an incompatible/existing store, or an invalid spec
         print(f"conferr: error: {exc}", file=sys.stderr)

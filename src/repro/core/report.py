@@ -47,6 +47,7 @@ __all__ = [
     "store_typo_table",
     "store_matrix_profiles",
     "store_matrix_table",
+    "render_store_report",
 ]
 
 
@@ -277,6 +278,27 @@ def store_typo_table(store) -> str:
     of the same run are byte-identical.
     """
     return typo_resilience_table(store.merged_profiles())
+
+
+def render_store_report(store) -> str:
+    """The full human-readable report of a result store, as one string.
+
+    Manifest header, one summary block per merged system profile, then the
+    Table 1 layout -- exactly what ``conferr report <store-dir>`` prints
+    and what the campaign service serves as a job's ``report`` artifact
+    (one renderer, so the two are byte-identical).
+    """
+    manifest = store.read_manifest()  # raises StoreError for a plain directory
+    lines = [
+        f"result store: {store.root} "
+        f"(kind: {manifest.get('kind')}, seed: {manifest.get('seed')})"
+    ]
+    for profile in store.merged_profiles().values():
+        lines.append("")
+        lines.append(profile.summary())
+    lines.append("")
+    lines.append(store_typo_table(store))
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- Figure 3

@@ -45,6 +45,8 @@ __all__ = [
     "derive_seed",
     "diff_spec_dicts",
     "spec_dict_to_toml",
+    "validation_report",
+    "validation_error_entry",
 ]
 
 #: Worker strategies understood by the campaign executor.
@@ -652,6 +654,36 @@ class ExperimentSpec:
     def seed_for(self, system_key: str, plugin_key: str) -> int:
         """Seed of one (system, plugin) cell of the matrix."""
         return derive_seed(self.execution.seed, system_key, plugin_key)
+
+
+# ------------------------------------------------------- validation as data
+def validation_error_entry(message: str) -> dict[str, Any]:
+    """One machine-readable validation error from a :class:`SpecError` message.
+
+    Spec errors are ``path: message`` strings with the exact offending path
+    up front (``plugins[1].params.layout: unknown layout 'qwertz-xx'``);
+    this splits them into ``{"path", "message"}``.  Messages without a
+    leading path (paths never contain spaces) get ``path: None``.
+    """
+    head, sep, rest = message.partition(": ")
+    if sep and head and " " not in head:
+        return {"path": head, "message": rest}
+    return {"path": None, "message": message}
+
+
+def validation_report(spec: "ExperimentSpec") -> dict[str, Any]:
+    """Validate a spec into a JSON-native report: ``{"valid", "errors"}``.
+
+    The exact document ``conferr validate --json`` prints and the campaign
+    service returns as its 400 response body -- one shape, produced in one
+    place.  Validation stops at the first failure (as :meth:`validate`
+    does), so ``errors`` holds at most one entry.
+    """
+    try:
+        spec.validate()
+    except SpecError as exc:
+        return {"valid": False, "errors": [validation_error_entry(str(exc))]}
+    return {"valid": True, "errors": []}
 
 
 # ------------------------------------------------------------------ spec diffing

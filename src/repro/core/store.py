@@ -30,7 +30,23 @@ a readable prefix behind.  Trailing partial lines (the one write a crash can
 tear) are ignored on load.  One append-mode handle is cached per system (a
 record write is a single buffered write + flush, not an open/close); call
 :meth:`close` -- or use the store as a context manager -- to release the
-handles deterministically.
+handles deterministically.  ``close`` is idempotent.
+
+Concurrency contract, precisely:
+
+* **One writer per store directory.**  The first write (manifest or record
+  append) takes an advisory ``store.lock`` file naming the writing process;
+  a second writer on the same directory fails fast with a pointed
+  :class:`StoreError` instead of silently interleaving appends.  The lock
+  is released by :meth:`close` and broken automatically when its holder is
+  a dead process on this host (a ``kill -9`` must not brick the store).
+* **Any number of concurrent readers.**  Readers (``iter_records``,
+  ``load_profiles`` and every ``--from-store`` renderer) take no lock and
+  never block the writer.  Because a record append is a single buffered
+  ``write()`` of one complete line followed by a flush, a reader streaming
+  the file mid-append sees only complete records plus at most one torn
+  trailing line -- which :meth:`iter_records` already tolerates.  Live
+  progress endpoints poll exactly this way.
 """
 
 from __future__ import annotations
@@ -38,6 +54,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import socket
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -49,6 +66,7 @@ __all__ = [
     "ResultStore",
     "MANIFEST_VERSION",
     "QUARANTINE_NAME",
+    "LOCK_NAME",
     "filename_for",
     "FileCheck",
     "StoreReport",
@@ -60,6 +78,9 @@ MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "manifest.json"
 _SYSTEMS_INDEX_NAME = "systems.json"
+#: Advisory writer-lock file: holds ``{"pid", "host", "argv"}`` of the one
+#: process allowed to append to this store directory.
+LOCK_NAME = "store.lock"
 #: Manifest of scenarios the fault-tolerance layer gave up on, kept next to
 #: -- never inside -- the per-system record files: the main stream stays a
 #: clean record of real experiment outcomes, and a resumed run can decide to
@@ -144,9 +165,16 @@ class ResultStore:
         self._quarantine_handle: Any = None
         #: Cached system-key -> file-name index (``systems.json``).
         self._systems_index: dict[str, str] | None = None
+        #: Whether this instance holds the advisory ``store.lock``.
+        self._lock_owned = False
 
     def close(self) -> None:
-        """Close every cached append handle (appending later reopens them)."""
+        """Close cached append handles and release the writer lock.
+
+        Idempotent: closing an already-closed (or never-written) store is a
+        no-op, and appending after a close simply reopens the handles and
+        re-acquires the lock.
+        """
         handles, self._handles = self._handles, {}
         quarantine, self._quarantine_handle = self._quarantine_handle, None
         if quarantine is not None:
@@ -156,6 +184,87 @@ class ResultStore:
                 handle.close()
             except OSError:  # pragma: no cover - close() on flushed appends
                 pass
+        self._release_writer_lock()
+
+    # -------------------------------------------------------------- writer lock
+    @property
+    def lock_path(self) -> Path:
+        return self.root / LOCK_NAME
+
+    def _acquire_writer_lock(self) -> None:
+        """Take the advisory one-writer-per-directory lock (idempotent).
+
+        A live competing writer is a hard error: two appenders would
+        interleave records in the same JSONL files.  A lock held by a dead
+        process on this host (crash, ``kill -9``) is broken and re-taken; a
+        lock from another host cannot be verified and is honoured.
+        """
+        if self._lock_owned:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"pid": os.getpid(), "host": socket.gethostname()}, sort_keys=True
+        )
+        for _attempt in range(16):  # bounded: stale-lock breaking can race
+            try:
+                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._read_lock_holder()
+                if holder is not None and not self._holder_is_dead(holder):
+                    raise StoreError(
+                        f"result store {self.root} is locked by another writer "
+                        f"(pid {holder.get('pid')} on {holder.get('host')}, "
+                        f"{self.lock_path}); a store accepts one concurrent "
+                        "writer -- wait for it to finish, or remove the lock "
+                        "file if that process is truly gone"
+                    )
+                try:  # stale (dead holder) or unreadable: break it and retry
+                    self.lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            self._lock_owned = True
+            return
+        raise StoreError(  # pragma: no cover - needs a pathological unlink race
+            f"could not acquire {self.lock_path} after repeated attempts"
+        )
+
+    def _read_lock_holder(self) -> dict[str, Any] | None:
+        """The lock file's ``{"pid", "host"}`` payload, or None when unreadable."""
+        try:
+            raw = json.loads(self.lock_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return raw if isinstance(raw, dict) else None
+
+    @staticmethod
+    def _holder_is_dead(holder: Mapping[str, Any]) -> bool:
+        """Whether the lock's holder is verifiably gone (same host, dead pid)."""
+        if holder.get("host") != socket.gethostname():
+            return False  # another host: cannot verify, assume alive
+        pid = holder.get("pid")
+        if not isinstance(pid, int) or pid <= 0:
+            return True  # malformed payload: nobody to honour
+        if pid == os.getpid():
+            return False  # another ResultStore instance in this very process
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:  # pragma: no cover - other user's live process
+            return False
+        return False
+
+    def _release_writer_lock(self) -> None:
+        if not self._lock_owned:
+            return
+        self._lock_owned = False
+        try:
+            self.lock_path.unlink()
+        except OSError:  # pragma: no cover - lock dir removed underneath us
+            pass
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -183,6 +292,7 @@ class ResultStore:
 
     def write_manifest(self, manifest: Mapping[str, Any]) -> None:
         """Initialise the store directory and persist the run manifest."""
+        self._acquire_writer_lock()
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {"version": MANIFEST_VERSION, **manifest}
         self.manifest_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -294,6 +404,7 @@ class ResultStore:
             return
         handle = self._handles.get(system)
         if handle is None:
+            self._acquire_writer_lock()
             self.root.mkdir(parents=True, exist_ok=True)
             path = self.path_for(system)
             # A prior crash may have torn the final line mid-write; appending
@@ -378,6 +489,7 @@ class ResultStore:
 
     def _append_quarantined(self, system: str, campaign: str, record: InjectionRecord) -> None:
         if self._quarantine_handle is None:
+            self._acquire_writer_lock()
             self.root.mkdir(parents=True, exist_ok=True)
             self._truncate_torn_tail(self.quarantine_path)
             self._quarantine_handle = open(self.quarantine_path, "ab")
@@ -436,6 +548,9 @@ class ResultStore:
         path = self.quarantine_path
         if not path.is_file():
             return 0
+        # compacting the manifest is a write: the resuming run that calls
+        # this is about to append anyway, so take (and keep) the writer lock
+        self._acquire_writer_lock()
         kept: list[str] = []
         dropped = 0
         for entry_system, campaign, record in self.iter_quarantined():
@@ -650,6 +765,15 @@ class ResultStore:
         :meth:`verify` afterwards reports clean.
         """
         self.close()
+        # repair rewrites record files in place: it is a writer, and must
+        # fail fast rather than pull files out from under a live appender
+        self._acquire_writer_lock()
+        try:
+            return self._repair_locked()
+        finally:
+            self._release_writer_lock()
+
+    def _repair_locked(self) -> StoreReport:
         report = StoreReport(root=str(self.root), repaired=True)
         for system, path in self._record_files():
             records, corrupt, torn = self._classify_lines(

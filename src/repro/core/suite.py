@@ -29,7 +29,7 @@ from repro.core.profile import InjectionRecord, ResilienceProfile
 from repro.core.report import resilience_matrix_table, typo_resilience_table
 from repro.core.spec import ExperimentSpec, derive_seed
 from repro.core.store import ResultStore
-from repro.errors import CampaignError, StoreError
+from repro.errors import CampaignError, CancelledRun, StoreError
 from repro.plugins.base import ErrorGeneratorPlugin
 from repro.sut.base import SystemUnderTest, split_sut
 
@@ -153,6 +153,15 @@ class CampaignSuite:
         front of the scenario sequence completes).  Fires after the store
         append, so a progress line never reports a record that could still
         be lost.
+    cancel_check:
+        Optional zero-argument callable polled before every cell and before
+        every record append; returning True raises
+        :class:`~repro.errors.CancelledRun`, aborting the run cooperatively.
+        Everything already released to the store stays durable (the check
+        runs *before* an append, never between an append and its
+        observer), so a cancelled run resumes exactly like an interrupted
+        one.  This is the cancellation hook behind ``DELETE /jobs/{id}``
+        and graceful service shutdown.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class CampaignSuite:
         check_baseline: bool = True,
         spec: ExperimentSpec | None = None,
         record_observer: Callable[[str, str, InjectionRecord], None] | None = None,
+        cancel_check: Callable[[], bool] | None = None,
     ):
         if not systems:
             raise CampaignError("a suite needs at least one system")
@@ -195,12 +205,14 @@ class CampaignSuite:
         self.check_baseline = check_baseline
         self.spec = spec
         self.record_observer = record_observer
+        self.cancel_check = cancel_check
 
     @classmethod
     def from_spec(
         cls,
         spec: ExperimentSpec,
         record_observer: Callable[[str, str, InjectionRecord], None] | None = None,
+        cancel_check: Callable[[], bool] | None = None,
     ) -> "CampaignSuite":
         """Build the suite a declarative :class:`ExperimentSpec` describes.
 
@@ -221,6 +233,7 @@ class CampaignSuite:
             retry_quarantined=spec.store.retry_quarantined if spec.store else False,
             spec=spec,
             record_observer=record_observer,
+            cancel_check=cancel_check,
         )
 
     # ----------------------------------------------------------------- manifest
@@ -297,6 +310,7 @@ class CampaignSuite:
 
         result = SuiteResult(system_names=dict(manifest["systems"]))
         for system_key, factory in self.systems.items():
+            self._check_cancelled()
             prior: dict[str, list[InjectionRecord]] = {}
             completed: set[tuple[str, str]] = set()
             if store is not None and resume:
@@ -346,18 +360,28 @@ class CampaignSuite:
             result.skipped[system_key] = dict(campaign_result.skipped)
         return result
 
+    def _check_cancelled(self) -> None:
+        if self.cancel_check is not None and self.cancel_check():
+            raise CancelledRun(
+                "suite run cancelled; records released so far are durable "
+                "and the store can be resumed"
+            )
+
     def _cell_observer(
         self, system_key: str, store: ResultStore | None
     ) -> Callable[[str, InjectionRecord], None] | None:
         """Per-record callback for one system's campaign: persist, then report.
 
         The store append runs first so that by the time a progress observer
-        announces a record it is already durable on disk.
+        announces a record it is already durable on disk.  The cancellation
+        check runs before the append: a record is either fully released
+        (stored *and* reported) or not released at all.
         """
-        if store is None and self.record_observer is None:
+        if store is None and self.record_observer is None and self.cancel_check is None:
             return None
 
         def observe(plugin_name: str, record: InjectionRecord) -> None:
+            self._check_cancelled()
             if store is not None:
                 store.append(system_key, plugin_name, record)
             if self.record_observer is not None:

@@ -71,6 +71,20 @@ class CampaignError(ConfErrError):
     """An injection campaign was misconfigured."""
 
 
+class CancelledRun(ConfErrError):
+    """A run was cancelled cooperatively while in flight.
+
+    Raised from a suite's cancellation hook between records/cells; every
+    record released before the cancellation is already durable in the
+    result store, so a cancelled run can later be resumed like an
+    interrupted one.  The campaign-as-a-service scheduler uses this to
+    implement job cancellation and graceful service shutdown."""
+
+
+class ServiceError(ConfErrError):
+    """The campaign service (HTTP API / job queue) hit an operational error."""
+
+
 class StoreError(ConfErrError):
     """A persistent result store is missing, corrupt, or incompatible with
     the suite being run (mismatched seed, systems or plugin configuration)."""

@@ -1,0 +1,61 @@
+"""Campaign-as-a-service: an HTTP API + multi-tenant job queue.
+
+Everything before this package runs a campaign inside one CLI process.
+The service decouples the two: a long-running ``conferr serve`` process
+accepts :class:`~repro.core.spec.ExperimentSpec` documents over HTTP,
+queues them as durable *jobs* (spec + state on disk), drains the queue
+through the existing :class:`~repro.core.suite.CampaignSuite` machinery on
+a background scheduler, and serves live progress and the rendered paper
+artefacts to many concurrent clients -- all from each job's append-only
+:class:`~repro.core.store.ResultStore`.
+
+Layers
+------
+* :mod:`repro.service.jobs` -- the job model (``QUEUED/RUNNING/DONE/
+  FAILED/CANCELLED``), per-tenant on-disk layout and the thread-safe
+  :class:`JobRegistry` that persists it.
+* :mod:`repro.service.scheduler` -- the background :class:`Scheduler`
+  draining the queue into campaign suites, with per-tenant concurrency
+  caps, live progress counters, cooperative cancellation and
+  restart-resume via the store's resume protocol.
+* :mod:`repro.service.app` -- :class:`CampaignService`, the registry +
+  scheduler composition, plus the artifact renderers (the exact
+  ``--from-store`` code paths the CLI uses, so served tables are
+  byte-identical to local renders).
+* :mod:`repro.service.http` -- the stdlib ``ThreadingHTTPServer`` JSON
+  API (no new runtime dependencies).
+* :mod:`repro.service.client` -- a tiny stdlib HTTP client used by tests,
+  benchmarks and the CI smoke.
+
+See ``docs/SERVICE.md`` for the API reference and lifecycle semantics.
+"""
+
+from repro.service.app import ARTIFACT_NAMES, CampaignService, render_artifact
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import make_server, serve
+from repro.service.jobs import (
+    DEFAULT_TENANT,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobRegistry,
+    validate_tenant,
+)
+from repro.service.scheduler import Scheduler
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "CampaignService",
+    "render_artifact",
+    "ServiceClient",
+    "ServiceClientError",
+    "make_server",
+    "serve",
+    "DEFAULT_TENANT",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobRegistry",
+    "validate_tenant",
+    "Scheduler",
+]

@@ -1,0 +1,143 @@
+"""A tiny stdlib client for the campaign service HTTP API.
+
+Used by the tests, the CI smoke script and the service benchmark; handy
+interactively too::
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8765", tenant="alice")
+    job = client.submit(open("examples/specs/paper_suite.toml").read())
+    job = client.wait(job["id"])
+    print(client.artifact(job["id"], "table1"))
+
+Only :mod:`urllib.request` underneath -- no new dependencies.  Error
+responses raise :class:`ServiceClientError` carrying the HTTP status and
+the decoded JSON payload (for a 400 that payload *is* the
+``validate --json`` report).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.jobs import DEFAULT_TENANT, TERMINAL_STATES
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP error from the service, with the decoded response attached."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        if isinstance(payload, dict) and "error" in payload:
+            detail = payload["error"]
+        else:
+            detail = json.dumps(payload)
+        super().__init__(f"service returned HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talks to one service as one tenant.
+
+    ``base_url`` is the service root (e.g. ``http://127.0.0.1:8765``);
+    ``tenant`` becomes the ``X-Tenant`` header on every request.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        timeout: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- plumbing
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        content_type: str | None = None,
+    ) -> tuple[int, str, str]:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        request.add_header("X-Tenant", self.tenant)
+        if content_type is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return (
+                    response.status,
+                    response.read().decode("utf-8"),
+                    response.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as exc:
+            text = exc.read().decode("utf-8")
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError:
+                payload = {"error": text}
+            raise ServiceClientError(exc.code, payload) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, *, body: bytes | None = None,
+              content_type: str | None = None) -> Any:
+        _, text, _ = self._request(method, path, body=body, content_type=content_type)
+        return json.loads(text)
+
+    # -------------------------------------------------------------- operations
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec: dict[str, Any] | str) -> dict[str, Any]:
+        """Submit a spec: a dict (sent as JSON) or a TOML document string."""
+        if isinstance(spec, dict):
+            body = json.dumps(spec).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = spec.encode("utf-8")
+            content_type = "application/toml"
+        return self._json("POST", "/jobs", body=body, content_type=content_type)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def artifact(self, job_id: str, name: str) -> str:
+        """Fetch a rendered artifact (``table1`` ... ``report``) as text."""
+        _, text, _ = self._request("GET", f"/jobs/{job_id}/{name}")
+        return text
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the job doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll)

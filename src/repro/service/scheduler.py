@@ -1,0 +1,168 @@
+"""Background scheduler: drains the job queue into campaign suites.
+
+One dispatcher thread claims runnable jobs (FIFO, per-tenant concurrency
+caps) and hands each to a worker thread that drives the existing
+:class:`~repro.core.suite.CampaignSuite` machinery:
+
+* the job's spec is rebuilt with :meth:`ExperimentSpec.from_dict` (it was
+  validated at submission),
+* records stream into the job's :class:`~repro.core.store.ResultStore`
+  (advisory writer lock, torn-tail-tolerant readers) with a per-record
+  observer feeding the registry's live progress counters,
+* the suite's ``cancel_check`` hook polls the job's cancel event and the
+  scheduler's stop flag, so ``DELETE /jobs/{id}`` and graceful service
+  shutdown both land as :class:`~repro.errors.CancelledRun` between
+  records -- everything already released stays durable,
+* a job whose store already exists (service restarted mid-run) is resumed
+  through the store's resume protocol: completed scenario ids are skipped,
+  so no scenario ever produces two records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.spec import ExperimentSpec
+from repro.core.store import ResultStore
+from repro.core.suite import CampaignSuite
+from repro.errors import CancelledRun
+from repro.service.jobs import Job, JobRegistry
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Claims QUEUED jobs and runs them on daemon worker threads.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`JobRegistry` to drain.
+    jobs_per_tenant:
+        Maximum jobs of one tenant RUNNING at once (the multi-tenant
+        fairness cap).
+    workers:
+        Maximum jobs RUNNING at once across all tenants.
+    poll_interval:
+        Dispatcher sleep between queue scans, seconds.
+    """
+
+    def __init__(
+        self,
+        registry: JobRegistry,
+        *,
+        jobs_per_tenant: int = 1,
+        workers: int = 2,
+        poll_interval: float = 0.05,
+    ):
+        if jobs_per_tenant < 1:
+            raise ValueError(f"jobs_per_tenant must be >= 1, got {jobs_per_tenant}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.registry = registry
+        self.jobs_per_tenant = jobs_per_tenant
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
+        self._threads: dict[tuple[str, str], threading.Thread] = {}
+        self._threads_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ control
+    def start(self) -> "Scheduler":
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            return self
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="conferr-scheduler", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop: interrupt running jobs and requeue them.
+
+        Running suites see the stop flag through their ``cancel_check``
+        hook, abort between records (everything released is already on
+        disk), and go back to QUEUED -- the next service start resumes
+        them.  Idempotent.
+        """
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+            self._dispatcher = None
+        with self._threads_lock:
+            threads = list(self._threads.values())
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def running_count(self) -> int:
+        with self._threads_lock:
+            return sum(1 for thread in self._threads.values() if thread.is_alive())
+
+    # --------------------------------------------------------------- dispatcher
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self._reap_finished()
+            job = self.registry.claim_next(self.jobs_per_tenant, self.workers)
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            thread = threading.Thread(
+                target=self._run_job,
+                args=(job,),
+                name=f"conferr-job-{job.id}",
+                daemon=True,
+            )
+            with self._threads_lock:
+                self._threads[(job.tenant, job.id)] = thread
+            thread.start()
+
+    def _reap_finished(self) -> None:
+        with self._threads_lock:
+            for key in [key for key, thread in self._threads.items() if not thread.is_alive()]:
+                del self._threads[key]
+
+    # ------------------------------------------------------------------- worker
+    def _cancel_check_for(self, job: Job) -> Callable[[], bool]:
+        return lambda: job.cancel_event.is_set() or self._stop.is_set()
+
+    def _run_job(self, job: Job) -> None:
+        store = ResultStore(job.store_dir)
+        try:
+            spec = ExperimentSpec.from_dict(job.spec)
+
+            def observe(system: str, plugin: str, record) -> None:
+                self.registry.record_progress(
+                    job, system, plugin, bool(record.metadata.get("quarantined"))
+                )
+
+            suite = CampaignSuite.from_spec(
+                spec,
+                record_observer=observe,
+                cancel_check=self._cancel_check_for(job),
+            )
+            # a pre-existing store means a previous service process already
+            # started this job: resume it (exactly-once per scenario)
+            result = suite.run(store=store, resume=store.exists())
+        except CancelledRun:
+            if job.cancel_event.is_set():
+                self.registry.mark_cancelled(job)
+            else:  # graceful shutdown: hand the job back to the queue
+                self.registry.requeue(job)
+        except Exception as exc:  # noqa: BLE001 - a job must never kill the service
+            self.registry.fail(job, f"{type(exc).__name__}: {exc}")
+        else:
+            self.registry.finish_cells(job, result.executed, result.skipped)
+            self.registry.finish(
+                job,
+                executed=result.total_executed(),
+                skipped=result.total_skipped(),
+            )
+        finally:
+            store.close()

@@ -120,6 +120,7 @@ class TestRecords:
         # would lose the record and corrupt every later load)
         store = ResultStore(tmp_path)
         store.append("pg", "spelling", record("a"))
+        store.close()  # release the writer lock, as the exiting run would
         with open(store.path_for("pg"), "a", encoding="utf-8") as handle:
             handle.write('{"campaign": "spelling", "record": {"scen')
         resumed = ResultStore(tmp_path)  # fresh instance, as a real resume is
@@ -224,6 +225,7 @@ class TestSystemsIndex:
     def test_corrupt_index_degrades_to_stems(self, tmp_path):
         store = ResultStore(tmp_path)
         store.append("alpha", "c", record("a"))
+        store.close()
         (tmp_path / "systems.json").write_text("{torn", encoding="utf-8")
         assert ResultStore(tmp_path).systems() == ["alpha"]
         # and the next append heals the index

@@ -246,8 +246,12 @@ class TestKilledRunResumeEquivalence:
         reference = self._beyond_paper_suite().run(store=reference_store)
 
         killed_root = tmp_path / "killed"
+        killing = self._killing_store(killed_root, after=9)
         with pytest.raises(self._KilledMidRun):
-            self._beyond_paper_suite().run(store=self._killing_store(killed_root, after=9))
+            self._beyond_paper_suite().run(store=killing)
+        # a real SIGKILL leaves a stale lock a resume breaks (dead pid); an
+        # in-process simulated kill must release its writer lock explicitly
+        killing.close()
 
         # the crash may also have torn the final line mid-write
         jsonl_files = sorted(killed_root.glob("*.jsonl"))
@@ -324,10 +328,12 @@ class TestParallelKillDurability:
         assert reference.total_executed() > self.KILL_AFTER + 4
 
         killed_root = tmp_path / "killed"
+        killing = _KillingStore(killed_root, after=self.KILL_AFTER)
         with pytest.raises(_KilledMidRun):
-            small_suite(jobs=4, executor=executor).run(
-                store=_KillingStore(killed_root, after=self.KILL_AFTER)
-            )
+            small_suite(jobs=4, executor=executor).run(store=killing)
+        # in-process kill: release the writer lock a real dead pid would
+        # leave stale (and breakable) for the resume below
+        killing.close()
 
         # everything released before the kill is on disk -- with an
         # exception-kill the in-order release makes that exactly N records;
@@ -347,10 +353,10 @@ class TestParallelKillDurability:
 
     def test_killed_parallel_run_with_torn_tail_still_resumes(self, tmp_path):
         killed_root = tmp_path / "killed"
+        killing = _KillingStore(killed_root, after=self.KILL_AFTER)
         with pytest.raises(_KilledMidRun):
-            small_suite(jobs=4, executor="thread").run(
-                store=_KillingStore(killed_root, after=self.KILL_AFTER)
-            )
+            small_suite(jobs=4, executor="thread").run(store=killing)
+        killing.close()
         jsonl_files = sorted(killed_root.glob("*.jsonl"))
         assert jsonl_files, "the killed run left records behind"
         with open(jsonl_files[0], "ab") as handle:

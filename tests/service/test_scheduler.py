@@ -1,0 +1,148 @@
+"""Scheduler tests: queue draining, progress, cancel, shutdown, resume."""
+
+import time
+
+import pytest
+
+from repro.core.store import ResultStore
+from repro.service.app import CampaignService
+from repro.service.jobs import JobRegistry, TERMINAL_STATES
+
+SMOKE_SPEC = {
+    "systems": [{"name": "postgres"}],
+    "plugins": [{"name": "semantic-constraints", "params": {"system": "postgres"}}],
+    "execution": {"seed": 2008, "jobs": 1},
+}
+
+SUITE_SPEC = {
+    "systems": [{"name": "mysql"}, {"name": "postgres"}],
+    "plugins": [{"name": "spelling"}, {"name": "semantic-constraints"}],
+    "execution": {"seed": 2008, "jobs": 1},
+}
+
+
+def wait_for(predicate, timeout=60.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll)
+    raise AssertionError("condition not reached in time")
+
+
+def make_service(tmp_path, **kwargs) -> CampaignService:
+    kwargs.setdefault("poll_interval", 0.01)
+    return CampaignService(tmp_path / "data", **kwargs)
+
+
+class TestRunToCompletion:
+    def test_job_runs_to_done_with_results(self, tmp_path):
+        with make_service(tmp_path) as service:
+            job = service.submit("alice", _spec(SMOKE_SPEC))
+            wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "DONE"
+            assert job.result["executed"] > 0
+            assert job.result["skipped"] == 0
+            cell = job.cells["postgres/semantic-constraints"]
+            assert cell.executed == job.result["executed"]
+            assert cell.skipped == 0
+            assert ResultStore(job.store_dir).exists()
+
+    def test_suite_job_fans_out_all_cells(self, tmp_path):
+        with make_service(tmp_path) as service:
+            job = service.submit("alice", _spec(SUITE_SPEC))
+            wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "DONE"
+            assert set(job.cells) == {
+                "mysql/spelling",
+                "mysql/semantic-constraints",
+                "postgres/spelling",
+                "postgres/semantic-constraints",
+            }
+            assert all(cell.executed > 0 for cell in job.cells.values())
+
+    def test_two_tenants_run_concurrently_under_caps(self, tmp_path):
+        with make_service(tmp_path, jobs_per_tenant=1, workers=2) as service:
+            jobs = [
+                service.submit("alice", _spec(SMOKE_SPEC)),
+                service.submit("alice", _spec(SMOKE_SPEC)),
+                service.submit("bob", _spec(SMOKE_SPEC)),
+            ]
+            wait_for(lambda: all(job.state in TERMINAL_STATES for job in jobs))
+            assert [job.state for job in jobs] == ["DONE", "DONE", "DONE"]
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        service = make_service(tmp_path)  # scheduler not started: stays queued
+        job = service.submit("alice", _spec(SMOKE_SPEC))
+        service.cancel("alice", job.id)
+        assert job.state == "CANCELLED"
+        assert not ResultStore(job.store_dir).exists()
+
+    def test_cancel_running_job_keeps_released_records(self, tmp_path):
+        with make_service(tmp_path) as service:
+            job = service.submit("alice", _spec(SUITE_SPEC))
+            wait_for(lambda: job.records > 0)
+            service.cancel("alice", job.id)
+            wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "CANCELLED"
+            store = ResultStore(job.store_dir)
+            on_disk = sum(
+                1 for system in store.systems() for _ in store.iter_records(system)
+            )
+            assert 0 < on_disk  # everything released before the cancel is durable
+
+
+class TestGracefulShutdownAndResume:
+    def test_stop_requeues_running_jobs(self, tmp_path):
+        service = make_service(tmp_path).start()
+        job = service.submit("alice", _spec(SUITE_SPEC))
+        wait_for(lambda: job.records > 0)
+        service.stop()
+        assert job.state == "QUEUED"  # handed back, not lost, not cancelled
+
+    def test_restarted_service_resumes_without_duplicates(self, tmp_path):
+        service = make_service(tmp_path).start()
+        job = service.submit("alice", _spec(SUITE_SPEC))
+        wait_for(lambda: job.records > 0)
+        service.stop()
+        interrupted_store = ResultStore(job.store_dir)
+        already = sum(
+            1 for system in interrupted_store.systems()
+            for _ in interrupted_store.iter_records(system)
+        )
+        assert already > 0
+
+        # fresh service over the same data dir: the restart path
+        with make_service(tmp_path) as restarted:
+            resumed = restarted.registry.get("alice", job.id)
+            assert resumed.restarts == 1
+            wait_for(lambda: resumed.state in TERMINAL_STATES)
+            assert resumed.state == "DONE"
+            assert resumed.result["skipped"] == already  # resumed, not re-run
+
+        # exactly-once: no (system, campaign, scenario) appears twice
+        store = ResultStore(job.store_dir)
+        seen = set()
+        for system in store.systems():
+            for campaign, record in store.iter_records(system):
+                key = (system, campaign, record.scenario_id)
+                assert key not in seen, f"duplicate record {key}"
+                seen.add(key)
+        assert len(seen) == resumed.result["executed"] + resumed.result["skipped"]
+
+    def test_failed_spec_marks_the_job_failed(self, tmp_path):
+        with make_service(tmp_path) as service:
+            job = service.registry.submit("alice", _spec(SMOKE_SPEC))
+            # sabotage the persisted spec so the worker's from_dict blows up
+            job.spec["plugins"][0]["name"] = "no-such-plugin"
+            wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "FAILED"
+            assert "no-such-plugin" in job.error
+
+
+def _spec(document):
+    from repro.core.spec import ExperimentSpec
+
+    return ExperimentSpec.from_dict(document)

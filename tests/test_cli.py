@@ -380,6 +380,35 @@ class TestSpecCommands:
         out = capsys.readouterr().out
         assert out.count("OK") == len(shipped)
 
+    def test_validate_json_valid_spec(self, capsys):
+        assert main(["validate", "examples/specs/smoke.json", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"valid": True, "errors": []}
+
+    def test_validate_json_reports_exact_path(self, capsys, tmp_path):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "systems": ["postgres"],
+                    "plugins": [{"name": "spelling", "params": {"layout": "qwertz-xx"}}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["validate", str(spec_file), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] is False
+        assert report["errors"][0]["path"] == "plugins[0].params.layout"
+        assert "qwertz-xx" in report["errors"][0]["message"]
+
+    def test_validate_json_unreadable_file_is_json_not_traceback(self, capsys, tmp_path):
+        assert main(["validate", str(tmp_path / "absent.toml"), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] is False
+        assert report["errors"][0]["path"] is None
+        assert "cannot read" in report["errors"][0]["message"]
+
     def test_run_spec_unreadable_file_fails_cleanly(self, capsys, tmp_path):
         assert main(["run-spec", str(tmp_path / "absent.toml")]) == 1
         assert "cannot read" in capsys.readouterr().err
