@@ -1,0 +1,44 @@
+"""Static analysis over experiment inputs and the harness itself.
+
+ConfErr's thesis is that configuration mistakes are cheap to make and
+expensive to discover at runtime.  That applies to *our* configuration
+too: an experiment spec with a misspelled plugin parameter, a seed
+collision between two matrix cells, or a harness module that quietly
+breaks the byte-identity contract only surfaces deep inside a campaign
+run -- after the user has paid for it.
+
+This package is the ``conferr lint`` rule engine: a catalog of small,
+individually selectable rules with stable codes (``spec/seed-collision``,
+``harness/unseeded-rng``, ...), each emitting coded diagnostics in the
+same ``{code, path, message, severity}`` shape as ``validate --json``.
+Two surfaces share the engine:
+
+* **spec linting** (:mod:`repro.analysis.spec_rules`) cross-checks
+  experiment specs against the system/plugin registries without
+  constructing or running anything;
+* **self linting** (:mod:`repro.analysis.self_rules`) walks the
+  harness's own source with :mod:`ast` and the live registries,
+  enforcing project contracts that otherwise only fail at runtime.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.engine import (
+    RuleSelectionError,
+    lint_self,
+    lint_specs,
+    select_rules,
+)
+from repro.analysis.rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "RuleSelectionError",
+    "all_rules",
+    "get_rule",
+    "lint_self",
+    "lint_specs",
+    "select_rules",
+]

@@ -1,0 +1,129 @@
+"""Coded diagnostics and lint reports.
+
+A :class:`Diagnostic` is one finding: a stable rule code, a severity, a
+human message, and a location.  Spec findings locate themselves with the
+spec-path notation validation errors already use
+(``plugins[1].params.layout``); self-lint findings use file and line.
+A :class:`LintReport` collects the findings of one lint invocation and
+renders them as text or as the ``validate --json`` document shape
+(``{"valid", "errors"}``), so service responses, ``validate --json`` and
+``lint --json`` all speak one dialect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``error`` findings describe experiments that will fail or lie
+    (exit-code-affecting); ``warning`` findings describe experiments that
+    will run but almost certainly not do what was meant; ``info``
+    findings are advisory and carried by default-off rules.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # render "error", not "Severity.ERROR"
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One coded finding of a lint rule."""
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    #: Spec path of the offending entry (``plugins[1].params.layout``) for
+    #: spec findings; None for whole-file or self-lint findings.
+    path: str | None = None
+    #: File the finding is about: the spec file for spec findings, the
+    #: source file for self-lint findings.
+    file: str | None = None
+    #: 1-based source line, when the finding is anchored to one.
+    line: int | None = None
+
+    def sort_key(self) -> tuple:
+        return (self.file or "", self.line or 0, self.path or "", self.code)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native entry in the ``validate --json`` error shape."""
+        entry: dict[str, Any] = {
+            "code": self.code,
+            "path": self.path,
+            "message": self.message,
+            "severity": str(self.severity),
+        }
+        if self.file is not None:
+            entry["file"] = self.file
+        if self.line is not None:
+            entry["line"] = self.line
+        return entry
+
+    def render(self) -> str:
+        """One text line: ``file:line: path: severity[code] message``."""
+        location = []
+        if self.file is not None:
+            location.append(self.file if self.line is None else f"{self.file}:{self.line}")
+        if self.path is not None:
+            location.append(self.path)
+        prefix = ": ".join(location)
+        body = f"{self.severity}[{self.code}] {self.message}"
+        return f"{prefix}: {body}" if prefix else body
+
+
+class LintReport:
+    """The findings of one lint invocation, plus suppression bookkeeping."""
+
+    def __init__(self) -> None:
+        self.findings: list[Diagnostic] = []
+        self.files_checked = 0
+        self.suppressed = 0
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.findings.extend(diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when there are findings (ruff-style)."""
+        return 0 if self.clean else 1
+
+    def sorted_findings(self) -> list[Diagnostic]:
+        return sorted(self.findings, key=Diagnostic.sort_key)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``validate --json`` document shape: ``{"valid", "errors"}``."""
+        return {
+            "valid": self.clean,
+            "errors": [finding.to_dict() for finding in self.sorted_findings()],
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.sorted_findings()]
+        counts: dict[Severity, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        if self.clean:
+            summary = f"all clean ({self.files_checked} file(s) checked"
+        else:
+            parts = [
+                f"{count} {severity}(s)"
+                for severity, count in sorted(counts.items(), key=lambda kv: kv[0].value)
+            ]
+            summary = f"{', '.join(parts)} ({self.files_checked} file(s) checked"
+        if self.suppressed:
+            summary += f", {self.suppressed} finding(s) suppressed by pragmas"
+        summary += ")"
+        lines.append(summary)
+        return "\n".join(lines)

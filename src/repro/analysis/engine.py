@@ -1,0 +1,76 @@
+"""Lint drivers: apply selected rules to spec files or source trees.
+
+Thin orchestration over the two rule surfaces.  ``lint_specs`` loads
+each spec file into a :class:`~repro.analysis.spec_rules.SpecTarget` and
+runs every spec rule over it; ``lint_self`` parses a source tree into a
+:class:`~repro.analysis.self_rules.SelfLintContext`, runs the self
+rules, and filters findings through inline ``conferr: allow[...]``
+pragmas.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.rules import Rule, RuleSelectionError, select_rules
+
+__all__ = ["RuleSelectionError", "lint_specs", "lint_self", "iter_python_files"]
+
+
+def lint_specs(files: Iterable[str | Path], rules: Sequence[Rule] | None = None) -> LintReport:
+    """Lint experiment spec files; ``rules`` defaults to the spec surface."""
+    from repro.analysis.spec_rules import SpecTarget
+
+    if rules is None:
+        rules = select_rules("spec")
+    report = LintReport()
+    for file in files:
+        target = SpecTarget(str(file))
+        report.files_checked += 1
+        for r in rules:
+            report.extend(r.check(target))
+    return report
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Python files under ``paths`` (files kept, directories walked).
+
+    ``__pycache__`` and hidden directories are skipped; order is stable.
+    """
+    files: list[Path] = []
+    for path in (Path(p) for p in paths):
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.relative_to(path).parts
+                if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                    continue
+                files.append(candidate)
+        else:
+            files.append(path)
+    return files
+
+
+def lint_self(paths: Iterable[str | Path], rules: Sequence[Rule] | None = None) -> LintReport:
+    """Lint harness source trees; ``rules`` defaults to the self surface."""
+    from repro.analysis.self_rules import SelfLintContext, SourceModule
+
+    if rules is None:
+        rules = select_rules("self")
+    roots = [Path(p) for p in paths]
+    modules = []
+    for root in roots:
+        for file in iter_python_files([root]):
+            rel = str(file.relative_to(root)) if root.is_dir() else file.name
+            modules.append(SourceModule(file, rel))
+    context = SelfLintContext(modules)
+    report = LintReport()
+    report.files_checked = len(modules)
+    for r in rules:
+        for finding in r.check(context):
+            if context.allowed(finding):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    return report

@@ -1,0 +1,136 @@
+"""The rule registry and ``--select``/``--ignore`` resolution.
+
+A rule is a named check with a stable code (``spec/seed-collision``),
+a severity, and the surface it runs on: ``"spec"`` rules check loaded
+experiment specs, ``"self"`` rules check harness source trees.  Codes
+are namespaced by the kind of contract they enforce (``spec/``,
+``catalog/``, ``harness/``) and never reused -- scripts and CI greps may
+depend on them.
+
+Selection mirrors ruff: ``--select`` enables exactly the named rules
+(full codes or ``spec``-style prefixes), ``--ignore`` removes rules from
+whatever is enabled, and default-off advisory rules run only when
+selected explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.errors import ConfErrError
+
+__all__ = [
+    "Rule",
+    "RuleSelectionError",
+    "all_rules",
+    "get_rule",
+    "rule",
+    "select_rules",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    severity: Severity
+    #: ``"spec"`` rules receive a :class:`~repro.analysis.spec_rules.SpecTarget`;
+    #: ``"self"`` rules receive a :class:`~repro.analysis.self_rules.SelfLintContext`.
+    surface: str
+    check: Callable[..., Iterator[Diagnostic]]
+    #: Default-off rules are advisory: they run only under ``--select``.
+    default: bool = True
+
+    @property
+    def summary(self) -> str:
+        """First line of the check's docstring -- the catalog one-liner."""
+        doc = self.check.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(
+    code: str,
+    severity: Severity,
+    surface: str,
+    *,
+    default: bool = True,
+) -> Callable[[Callable[..., Iterator[Diagnostic]]], Callable[..., Iterator[Diagnostic]]]:
+    """Decorator registering a check function as a lint rule."""
+
+    def decorate(check: Callable[..., Iterator[Diagnostic]]) -> Callable[..., Iterator[Diagnostic]]:
+        if code in _RULES:
+            raise ValueError(f"duplicate rule code {code!r}")
+        _RULES[code] = Rule(
+            code=code, severity=severity, surface=surface, check=check, default=default
+        )
+        return check
+
+    return decorate
+
+
+def _load_rule_modules() -> None:
+    # rule modules register on import; importing here keeps the registry
+    # lazy (cli startup does not pay for it) without import cycles
+    from repro.analysis import self_rules, spec_rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in registration (catalog) order."""
+    _load_rule_modules()
+    return list(_RULES.values())
+
+
+def get_rule(code: str) -> Rule:
+    _load_rule_modules()
+    return _RULES[code]
+
+
+class RuleSelectionError(ConfErrError):
+    """A ``--select``/``--ignore`` token matched no registered rule (usage error)."""
+
+
+def _matches(token: str, code: str) -> bool:
+    return code == token or code.startswith(token + "/")
+
+
+def _resolve(tokens: Iterable[str], codes: list[str]) -> set[str]:
+    chosen: set[str] = set()
+    for token in tokens:
+        matched = [code for code in codes if _matches(token, code)]
+        if not matched:
+            raise RuleSelectionError(
+                f"unknown rule or prefix {token!r}; see 'conferr lint --list-rules'"
+            )
+        chosen.update(matched)
+    return chosen
+
+
+def select_rules(
+    surface: str,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The rules to run on ``surface`` under ``--select``/``--ignore``.
+
+    Raises :class:`RuleSelectionError` for tokens that match nothing --
+    a misspelled rule code is itself a configuration error, and the CLI
+    turns it into a usage failure (exit 2) rather than silently linting
+    with fewer rules than asked for.
+    """
+    rules = [r for r in all_rules() if r.surface == surface]
+    codes = [r.code for r in all_rules()]  # validate tokens against the full catalog
+    if select is not None:
+        wanted = _resolve(select, codes)
+        rules = [r for r in rules if r.code in wanted]
+    else:
+        rules = [r for r in rules if r.default]
+    if ignore is not None:
+        dropped = _resolve(ignore, codes)
+        rules = [r for r in rules if r.code not in dropped]
+    return rules

@@ -330,6 +330,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "statically check spec files (or, with --self, harness source) "
+            "with coded rules; exit 0 clean / 1 findings / 2 usage"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "spec files to lint, or source files/directories with --self "
+            "(--self defaults to the installed repro package)"
+        ),
+    )
+    lint.add_argument(
+        "--self",
+        action="store_true",
+        dest="lint_self",
+        help="lint harness source for project invariants instead of spec files",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help=(
+            "comma-separated rule codes or prefixes to run exclusively "
+            "(e.g. 'spec/seed-collision' or 'harness'); also enables "
+            "default-off advisory rules"
+        ),
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes or prefixes to skip",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help=(
+            "emit a machine-readable {valid, errors[{code, path, message, "
+            "severity}]} report (the validate --json document shape)"
+        ),
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (code, severity, default, summary) and exit",
+    )
+
     report = sub.add_parser(
         "report", help="re-render a saved profile JSON file or a result-store directory"
     )
@@ -643,7 +695,9 @@ def _command_validate(args: argparse.Namespace) -> int:
         try:
             spec = ExperimentSpec.from_file(args.spec_file)
         except SpecError as exc:
-            report = {"valid": False, "errors": [{"path": None, "message": str(exc)}]}
+            from repro.core.spec import validation_error_entry
+
+            report = {"valid": False, "errors": [validation_error_entry(str(exc))]}
         else:
             report = validation_report(spec)
         print(json.dumps(report, indent=2))
@@ -661,6 +715,54 @@ def _command_validate(args: argparse.Namespace) -> int:
         f"seed {spec.execution.seed})"
     )
     return 0
+
+
+def _split_codes(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [token.strip() for token in value.split(",") if token.strip()]
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    """Static analysis: exit 0 clean, 1 findings, 2 usage (ruff-style)."""
+    from repro.analysis import (
+        RuleSelectionError,
+        all_rules,
+        lint_self,
+        lint_specs,
+        select_rules,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            state = "on" if rule.default else "off (enable with --select)"
+            print(f"{rule.code:32} {rule.severity.value:8} {state:28} {rule.summary}")
+        return 0
+    surface = "self" if args.lint_self else "spec"
+    try:
+        rules = select_rules(
+            surface, _split_codes(args.select), _split_codes(args.ignore)
+        )
+    except RuleSelectionError as exc:
+        print(f"conferr lint: usage error: {exc}", file=sys.stderr)
+        return 2
+    if args.lint_self:
+        paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+        report = lint_self(paths, rules)
+    else:
+        if not args.paths:
+            print(
+                "conferr lint: usage error: give spec files to lint, or --self "
+                "to lint the harness source",
+                file=sys.stderr,
+            )
+            return 2
+        report = lint_specs(args.paths, rules)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
 
 
 def _command_report(args: argparse.Namespace) -> int:
@@ -879,6 +981,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "suite": _command_suite,
         "run-spec": _command_run_spec,
         "validate": _command_validate,
+        "lint": _command_lint,
         "list": _command_list,
         "report": _command_report,
         "store": _command_store,

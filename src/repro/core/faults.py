@@ -72,7 +72,7 @@ _HARD_DEADLINE_FACTOR = 2.0
 _HARD_DEADLINE_SLACK = 15.0
 
 
-class WorkerCrashed(BaseException):
+class WorkerCrashed(BaseException):  # conferr: allow[harness/foreign-exception]
     """A simulated worker death (thread workers cannot really be killed).
 
     Derives from ``BaseException`` on purpose: the engine's per-scenario

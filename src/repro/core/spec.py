@@ -657,18 +657,54 @@ class ExperimentSpec:
 
 
 # ------------------------------------------------------- validation as data
+def spec_error_code(message: str) -> str:
+    """Stable diagnostic code classifying a :class:`SpecError` message.
+
+    The codes are the spec-surface rule codes of :mod:`repro.analysis`
+    (see docs/LINTING.md), so ``validate --json``, the campaign
+    service's 400 bodies and ``conferr lint --json`` all speak the same
+    coded dialect.  Classification is by the stable phrasing of the
+    messages this module itself produces; anything unrecognized is the
+    catch-all ``spec/invalid-value``.
+    """
+    if (
+        message.startswith(("invalid JSON spec", "invalid TOML spec"))
+        or "cannot read spec file" in message
+    ):
+        return "spec/parse-error"
+    if "unknown key (expected one of" in message:
+        return "spec/unknown-key"
+    if "unknown system" in message:
+        return "spec/unknown-system"
+    if "unknown plugin " in message:
+        return "spec/unknown-plugin"
+    if "unknown parameter for plugin" in message:
+        return "spec/unknown-plugin-param"
+    if "duplicate system" in message or "duplicate plugin" in message:
+        return "spec/duplicate-label"
+    if "share the SUT display name" in message:
+        return "spec/duplicate-label"
+    if "shares the store filename" in message:
+        return "spec/store-filename-clash"
+    return "spec/invalid-value"
+
+
 def validation_error_entry(message: str) -> dict[str, Any]:
     """One machine-readable validation error from a :class:`SpecError` message.
 
     Spec errors are ``path: message`` strings with the exact offending path
     up front (``plugins[1].params.layout: unknown layout 'qwertz-xx'``);
-    this splits them into ``{"path", "message"}``.  Messages without a
-    leading path (paths never contain spaces) get ``path: None``.
+    this splits them into ``{"path", "message"}`` and attaches the
+    :func:`spec_error_code` diagnostic code (validation failures are all
+    ``"error"`` severity -- :meth:`ExperimentSpec.validate` has no notion
+    of warnings).  Messages without a leading path (paths never contain
+    spaces) get ``path: None``.
     """
+    code = spec_error_code(message)
     head, sep, rest = message.partition(": ")
     if sep and head and " " not in head:
-        return {"path": head, "message": rest}
-    return {"path": None, "message": message}
+        return {"code": code, "path": head, "message": rest, "severity": "error"}
+    return {"code": code, "path": None, "message": message, "severity": "error"}
 
 
 def validation_report(spec: "ExperimentSpec") -> dict[str, Any]:

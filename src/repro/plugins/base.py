@@ -16,6 +16,7 @@ __all__ = [
     "register_plugin",
     "get_plugin",
     "available_plugins",
+    "registered_plugins",
     "positive_int_param",
     "string_list_param",
 ]
@@ -118,12 +119,20 @@ class ErrorGeneratorPlugin(ABC):
 
     @classmethod
     def check_param_names(cls, params: Mapping[str, Any]) -> None:
-        """Reject parameter names outside :attr:`param_names`."""
+        """Reject parameter names outside :attr:`param_names`.
+
+        The rejection carries a did-you-mean suggestion computed by the
+        spelling plugin's own typo models -- most parameter mistakes are
+        one psychomotor slip away from the name that was meant.
+        """
         for key in params:
             if key not in cls.param_names:
+                from repro.analysis.suggest import suggestion_suffix
+
                 raise SpecError(
                     f"{key}: unknown parameter for plugin {cls.name!r}; "
                     f"known: {', '.join(cls.param_names) or '(none)'}"
+                    f"{suggestion_suffix(key, cls.param_names)}"
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -146,3 +155,13 @@ def get_plugin(name: str) -> type[ErrorGeneratorPlugin]:
 def available_plugins() -> list[str]:
     """Names of all registered plugins, sorted."""
     return sorted(_REGISTRY)
+
+
+def registered_plugins() -> dict[str, type[ErrorGeneratorPlugin]]:
+    """Snapshot of the registry as ``{name: class}``.
+
+    The self-lint's ``harness/param-drift`` rule iterates this to check
+    every plugin's ``param_names``/``from_params``/``manifest_params``
+    triangle; a copy is returned so callers cannot mutate the registry.
+    """
+    return dict(_REGISTRY)

@@ -25,7 +25,7 @@ from repro.sut.nginx import SimulatedNginx
 from repro.sut.postgres import SimulatedPostgres
 from repro.sut.sshd import SimulatedSshd
 
-__all__ = ["register_system", "get_system", "available_systems"]
+__all__ = ["register_system", "get_system", "available_systems", "registered_systems"]
 
 SUTFactory = Callable[[], SystemUnderTest]
 
@@ -63,6 +63,16 @@ def available_systems() -> list[str]:
     suite's rendered tables, so it is preserved rather than sorted.
     """
     return list(_REGISTRY)
+
+
+def registered_systems() -> dict[str, SUTFactory]:
+    """Snapshot of the registry as ``{name: factory}``.
+
+    The self-lint's ``harness/delta-contract`` rule iterates this to
+    check every registered SUT's delta protocol; a copy is returned so
+    callers cannot mutate the registry.
+    """
+    return dict(_REGISTRY)
 
 
 # --------------------------------------------------------------- workload variants

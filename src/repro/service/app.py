@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.spec import ExperimentSpec, validation_report
+from repro.core.spec import ExperimentSpec, validation_error_entry, validation_report
 from repro.core.store import ResultStore
 from repro.errors import ServiceError, SpecError
 from repro.service.jobs import Job, JobRegistry
@@ -142,11 +142,13 @@ class CampaignService:
                     "valid": False,
                     "errors": [
                         {
+                            "code": "spec/invalid-value",
                             "path": "store",
                             "message": (
                                 "the service assigns each job's result store; "
                                 "remove the [store] section from the spec"
                             ),
+                            "severity": "error",
                         }
                     ],
                 }
@@ -162,7 +164,7 @@ class CampaignService:
             spec = ExperimentSpec.from_toml(body) if toml else ExperimentSpec.from_json(body)
         except SpecError as exc:
             raise SpecRejected(
-                {"valid": False, "errors": [{"path": None, "message": str(exc)}]}
+                {"valid": False, "errors": [validation_error_entry(str(exc))]}
             ) from None
         return self.submit(tenant, spec)
 

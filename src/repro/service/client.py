@@ -41,6 +41,12 @@ class ServiceClientError(ServiceError):
             detail = json.dumps(payload)
         super().__init__(f"service returned HTTP {status}: {detail}")
 
+    def __reduce__(self):
+        # super().__init__ collapses (status, payload) into one formatted
+        # message string, so default pickling would try to rebuild the
+        # instance as cls(message) and fail on the missing argument
+        return (type(self), (self.status, self.payload))
+
 
 class ServiceClient:
     """Talks to one service as one tenant.

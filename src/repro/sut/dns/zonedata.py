@@ -18,7 +18,7 @@ from repro.parsers.base import get_dialect
 __all__ = ["RecordDataError", "config_set_to_records", "records_from_files"]
 
 
-class RecordDataError(ValueError):
+class RecordDataError(ValueError):  # conferr: allow[harness/foreign-exception]
     """Record data that parses syntactically but is not loadable.
 
     Real servers reject such zones at load time (e.g. ``named`` refuses a

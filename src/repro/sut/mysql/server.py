@@ -40,7 +40,7 @@ _BOOL_VALUES = {"0": False, "1": True, "on": True, "off": False, "true": True, "
 _SERVER_SECTIONS = ("mysqld", "server")
 
 
-class MySqlValueError(ValueError):
+class MySqlValueError(ValueError):  # conferr: allow[harness/foreign-exception]
     """A numeric option value was rejected by the option parser."""
 
 

@@ -37,7 +37,7 @@ _BOOL_TRUE = {"on", "true", "yes", "1"}
 _BOOL_FALSE = {"off", "false", "no", "0"}
 
 
-class PostgresValueError(ValueError):
+class PostgresValueError(ValueError):  # conferr: allow[harness/foreign-exception]
     """A parameter value was rejected by the strict parser."""
 
 

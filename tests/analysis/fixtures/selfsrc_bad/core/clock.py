@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read in a record-producing path."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,6 @@
+"""Fixture: supports_delta patched without implementing start_delta."""
+
+
+class OverconfidentSut:
+    def supports_delta(self):
+        return True

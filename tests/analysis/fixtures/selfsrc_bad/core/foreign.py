@@ -1,0 +1,5 @@
+"""Fixture: exception outside the repro.errors hierarchy."""
+
+
+class ForeignBoom(RuntimeError):
+    pass

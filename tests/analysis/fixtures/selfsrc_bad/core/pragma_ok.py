@@ -1,0 +1,5 @@
+"""Fixture: a violation suppressed by an inline pragma."""
+
+
+class InternalOnly(ValueError):  # conferr: allow[harness/foreign-exception]
+    """Never escapes this module; the pragma records the decision."""

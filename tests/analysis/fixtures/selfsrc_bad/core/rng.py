@@ -1,0 +1,11 @@
+"""Fixture: unseeded randomness in a record-producing path."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def fresh_rng():
+    return random.Random()

@@ -1,0 +1,8 @@
+"""Fixture: mutable spec dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WobblySpec:
+    value: int = 0

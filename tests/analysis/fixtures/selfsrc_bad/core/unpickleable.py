@@ -1,0 +1,10 @@
+"""Fixture: exception that cannot survive a pickle round-trip."""
+
+from repro.errors import ConfErrError
+
+
+class TwoArgError(ConfErrError):
+    def __init__(self, kind, detail):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"{kind}: {detail}")

@@ -1,0 +1,7 @@
+"""Fixture: monotonic duration measurement, no wall clock."""
+
+import time
+
+
+def measure():
+    return time.perf_counter()

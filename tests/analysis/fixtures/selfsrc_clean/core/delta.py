@@ -1,0 +1,9 @@
+"""Fixture: delta support advertised by implementing start_delta."""
+
+
+class HonestSut:
+    def supports_delta(self):
+        return True
+
+    def start_delta(self, baseline, delta):
+        return None

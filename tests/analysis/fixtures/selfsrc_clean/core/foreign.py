@@ -1,0 +1,7 @@
+"""Fixture: exception inside the repro.errors hierarchy."""
+
+from repro.errors import ConfErrError
+
+
+class PolitePop(ConfErrError):
+    pass

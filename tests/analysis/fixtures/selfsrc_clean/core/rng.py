@@ -1,0 +1,11 @@
+"""Fixture: seeded randomness, as the byte-identity contract requires."""
+
+import random
+
+
+def fresh_rng(seed):
+    return random.Random(seed)
+
+
+def pick(items, rng):
+    return rng.choice(items)

@@ -1,0 +1,8 @@
+"""Fixture: frozen spec dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SturdySpec:
+    value: int = 0

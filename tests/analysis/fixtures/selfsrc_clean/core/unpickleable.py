@@ -1,0 +1,9 @@
+"""Fixture: exception whose super().__init__ matches its required args."""
+
+from repro.errors import ConfErrError
+
+
+class OneArgError(ConfErrError):
+    def __init__(self, detail, *, hint=None):
+        self.hint = hint
+        super().__init__(detail)

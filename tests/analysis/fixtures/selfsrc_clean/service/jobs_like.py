@@ -1,0 +1,7 @@
+"""Fixture: the service layer may read the wall clock (operational metadata)."""
+
+import time
+
+
+def created_at():
+    return time.time()

@@ -1,0 +1,30 @@
+"""Did-you-mean suggestions built on the paper's typo models."""
+
+from repro.analysis.suggest import did_you_mean, suggestion_suffix
+
+
+class TestDidYouMean:
+    def test_one_slip_omission(self):
+        # "mutations_per_tokn" is one omitted keystroke from the real name
+        candidates = ["token_types", "models", "mutations_per_token", "layout"]
+        assert did_you_mean("mutations_per_tokn", candidates) == "mutations_per_token"
+
+    def test_one_slip_transposition(self):
+        assert did_you_mean("msyql", ["mysql", "postgres"]) == "mysql"
+
+    def test_case_mismatch_wins_outright(self):
+        assert did_you_mean("MySQL", ["mysql", "postgres"]) == "mysql"
+
+    def test_difflib_fallback_for_fatter_fingers(self):
+        # two edits away: no single typo-model slip, difflib still helps
+        assert did_you_mean("mutatons_per_tok", ["mutations_per_token", "models"]) == (
+            "mutations_per_token"
+        )
+
+    def test_no_suggestion_when_nothing_is_close(self):
+        assert did_you_mean("zzz", ["mysql", "postgres"]) is None
+        assert did_you_mean("anything", []) is None
+
+    def test_suffix_formatting(self):
+        assert suggestion_suffix("msyql", ["mysql"]) == "; did you mean 'mysql'?"
+        assert suggestion_suffix("zzz", ["mysql"]) == ""
